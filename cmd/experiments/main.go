@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. With no flags it runs everything in the paper's order.
+//
+// Usage:
+//
+//	experiments [-fig 1|6a|6b|7|8a|8b|9|10[,...]]
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpichv"
+)
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figures to regenerate (e.g. \"6a,7\"), or \"all\"")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range mpichv.ExperimentNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var names []string
+	if *figs == "all" {
+		names = mpichv.ExperimentNames()
+	} else {
+		idx := mpichv.ExperimentIndex()
+		for _, f := range strings.Split(*figs, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := idx[f]; !ok {
+				f = "fig" + strings.TrimPrefix(f, "fig")
+			}
+			names = append(names, f)
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		tab := mpichv.Experiment(name)
+		if tab == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,259 @@
+package causal
+
+import (
+	"math"
+
+	"mpichv/internal/event"
+)
+
+// graph is the antecedence graph shared by the Manetho and LogOn reducers.
+//
+// Vertices are reception determinants. Two kinds of edges exist, both
+// implicit in the determinant fields:
+//
+//   - chain edges: event (c, k-1) precedes (c, k) — per-creator total order;
+//   - cross edges: d.Parent (the sender's last event before the emission)
+//     precedes d.ID.
+//
+// The causal past of any single event is downward closed per creator, so it
+// is exactly a vector clock. Each node's vector clock is computed lazily
+// (most nodes never need one; only the latest event of a destination is
+// queried, to infer what that destination already knows — the paper's
+// "crossing this graph allows to better estimate the events already known
+// by a receiver").
+type graph struct {
+	self event.Rank
+	np   int
+
+	// chains[c] holds the live nodes created by rank c in clock order
+	// (a contiguous suffix above the stability horizon).
+	chains [][]*gnode
+	index  map[event.EventID]*gnode
+
+	// knownBy[p][c]: highest clock of c's events that peer p is known to
+	// hold, from direct exchanges (the antecedence inference is applied on
+	// top of this at send time).
+	knownBy  [][]uint64
+	lastHeld []uint64
+	stable   []uint64
+
+	// headOwn is the local process's latest event; every held node is in
+	// its causal past (piggybacks are merged before the carrying reception
+	// is appended), so it is the root for frontier computations.
+	headOwn *gnode
+
+	held int
+}
+
+// gnode is one antecedence-graph vertex.
+type gnode struct {
+	d event.Determinant
+	// vc is the lazily computed causal past of the node (nil until needed).
+	vc []uint64
+}
+
+func newGraph(self event.Rank, np int) *graph {
+	g := &graph{
+		self:     self,
+		np:       np,
+		chains:   make([][]*gnode, np),
+		index:    make(map[event.EventID]*gnode),
+		knownBy:  make([][]uint64, np),
+		lastHeld: make([]uint64, np),
+		stable:   make([]uint64, np),
+	}
+	for i := range g.knownBy {
+		g.knownBy[i] = make([]uint64, np)
+	}
+	return g
+}
+
+// insert adds d to the graph if it is neither held nor stable. The returned
+// op count is the raw structural cost (lookups + append); callers scale it
+// by their protocol's per-event factor.
+func (g *graph) insert(d event.Determinant) (inserted bool, ops int64) {
+	c := d.ID.Creator
+	if d.ID.Clock <= g.lastHeld[c] || d.ID.Clock <= g.stable[c] {
+		return false, 1
+	}
+	n := &gnode{d: d}
+	g.chains[c] = append(g.chains[c], n)
+	g.index[d.ID] = n
+	g.lastHeld[c] = d.ID.Clock
+	g.held++
+	if c == g.self {
+		g.headOwn = n
+	}
+	return true, 3
+}
+
+// latest returns the newest held node created by rank c, or nil.
+func (g *graph) latest(c event.Rank) *gnode {
+	chain := g.chains[c]
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain[len(chain)-1]
+}
+
+// vcOf returns the vector clock (causal past) of n, computing and caching it
+// on demand. The computation walks antecedence edges iteratively so chains
+// of any length cannot overflow the Go stack.
+func (g *graph) vcOf(n *gnode) []uint64 {
+	if n.vc != nil {
+		return n.vc
+	}
+	stack := []*gnode{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		if cur.vc != nil {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		chainPred := g.index[event.EventID{Creator: cur.d.ID.Creator, Clock: cur.d.ID.Clock - 1}]
+		var parent *gnode
+		if !cur.d.Parent.Zero() {
+			parent = g.index[cur.d.Parent]
+		}
+		if chainPred != nil && chainPred.vc == nil {
+			stack = append(stack, chainPred)
+			continue
+		}
+		if parent != nil && parent.vc == nil {
+			stack = append(stack, parent)
+			continue
+		}
+		vc := make([]uint64, g.np)
+		if chainPred != nil {
+			copy(vc, chainPred.vc)
+		}
+		if parent != nil {
+			for i, v := range parent.vc {
+				if v > vc[i] {
+					vc[i] = v
+				}
+			}
+		} else if !cur.d.Parent.Zero() {
+			// Parent was garbage collected (stable) or never held: the only
+			// safe knowledge it contributes is its own identity.
+			pc := cur.d.Parent.Creator
+			if cur.d.Parent.Clock > vc[pc] {
+				vc[pc] = cur.d.Parent.Clock
+			}
+		}
+		vc[cur.d.ID.Creator] = cur.d.ID.Clock
+		cur.vc = vc
+		stack = stack[:len(stack)-1]
+	}
+	return n.vc
+}
+
+// knowledgeOf returns, per creator, the highest clock dst is believed to
+// hold: the max of direct-exchange knowledge, the stability horizon and —
+// the antecedence inference — the causal past of dst's latest event held
+// locally. Entry dst is infinite: a process knows its own events.
+func (g *graph) knowledgeOf(dst event.Rank) []uint64 {
+	known := make([]uint64, g.np)
+	copy(known, g.knownBy[dst])
+	for c := range known {
+		if g.stable[c] > known[c] {
+			known[c] = g.stable[c]
+		}
+	}
+	if latest := g.latest(dst); latest != nil {
+		for c, v := range g.vcOf(latest) {
+			if v > known[c] {
+				known[c] = v
+			}
+		}
+	}
+	known[dst] = math.MaxUint64
+	return known
+}
+
+// frontier returns the held determinants above dst's inferred knowledge, in
+// factored order (grouped by creator, clocks ascending), along with the
+// number of creator chains probed. It commits the result to knownBy[dst].
+func (g *graph) frontier(dst event.Rank) (out []*gnode, creators int64) {
+	known := g.knowledgeOf(dst)
+	for c := 0; c < g.np; c++ {
+		chain := g.chains[c]
+		creators++
+		if len(chain) == 0 || event.Rank(c) == dst {
+			continue
+		}
+		threshold := known[c]
+		lo, hi := 0, len(chain)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if chain[mid].d.ID.Clock > threshold {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo < len(chain) {
+			out = append(out, chain[lo:]...)
+			g.knownBy[dst][c] = chain[len(chain)-1].d.ID.Clock
+		}
+	}
+	return out, creators
+}
+
+// mergeLearn updates direct-exchange knowledge after receiving ds from src.
+func (g *graph) mergeLearn(src event.Rank, ds []event.Determinant) {
+	for _, d := range ds {
+		if d.ID.Clock > g.knownBy[src][d.ID.Creator] {
+			g.knownBy[src][d.ID.Creator] = d.ID.Clock
+		}
+	}
+}
+
+// gc removes nodes at or below the acknowledged vector.
+func (g *graph) gc(vec []uint64) int64 {
+	ops := int64(0)
+	for c := 0; c < g.np && c < len(vec); c++ {
+		if vec[c] <= g.stable[c] {
+			continue
+		}
+		g.stable[c] = vec[c]
+		chain := g.chains[c]
+		cut := 0
+		for cut < len(chain) && chain[cut].d.ID.Clock <= vec[c] {
+			delete(g.index, chain[cut].d.ID)
+			cut++
+		}
+		if cut > 0 {
+			g.chains[c] = append([]*gnode(nil), chain[cut:]...)
+			g.held -= cut
+			ops += int64(cut)
+		}
+	}
+	// The local head may have been collected; recovery still needs a root
+	// for frontier computation, so keep headOwn only if it is still live.
+	if g.headOwn != nil {
+		if _, ok := g.index[g.headOwn.d.ID]; !ok {
+			g.headOwn = g.latest(g.self)
+		}
+	}
+	return ops
+}
+
+func (g *graph) heldFor(creator event.Rank) []event.Determinant {
+	chain := g.chains[creator]
+	out := make([]event.Determinant, len(chain))
+	for i, n := range chain {
+		out[i] = n.d
+	}
+	return out
+}
+
+func (g *graph) all() []event.Determinant {
+	out := make([]event.Determinant, 0, g.held)
+	for c := range g.chains {
+		for _, n := range g.chains[c] {
+			out = append(out, n.d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpichv/internal/event"
+)
+
+// TestGraphVectorClockMatchesGroundTruth drives random causally-valid
+// insertions into the antecedence graph and checks the lazily computed
+// vector clocks against independently tracked ground truth.
+func TestGraphVectorClockMatchesGroundTruth(t *testing.T) {
+	const np = 6
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := newGraph(0, np)
+		clock := make([]uint64, np)
+		lamport := make([]uint64, np)
+		lastEvt := make([]event.EventID, np)
+		truth := make(map[event.EventID][]uint64)
+		vcNow := make([][]uint64, np)
+		for i := range vcNow {
+			vcNow[i] = make([]uint64, np)
+		}
+		for step := 0; step < 120; step++ {
+			src := r.Intn(np)
+			dst := r.Intn(np - 1)
+			if dst >= src {
+				dst++
+			}
+			// dst receives from src: new event of creator dst.
+			clock[dst]++
+			if lamport[src] > lamport[dst] {
+				lamport[dst] = lamport[src]
+			}
+			lamport[dst]++
+			d := event.Determinant{
+				ID:      event.EventID{Creator: event.Rank(dst), Clock: clock[dst]},
+				Sender:  event.Rank(src),
+				SendSeq: clock[dst],
+				Parent:  lastEvt[src],
+				Lamport: lamport[dst],
+			}
+			// Ground truth: dst's knowledge absorbs src's.
+			for c := 0; c < np; c++ {
+				if vcNow[src][c] > vcNow[dst][c] {
+					vcNow[dst][c] = vcNow[src][c]
+				}
+			}
+			vcNow[dst][dst] = clock[dst]
+			truth[d.ID] = append([]uint64(nil), vcNow[dst]...)
+			lastEvt[dst] = d.ID
+
+			g.insert(d)
+		}
+		// Every node's lazily computed vector clock must equal ground truth.
+		for id, want := range truth {
+			n := g.index[id]
+			if n == nil {
+				t.Fatalf("trial %d: node %v missing", trial, id)
+			}
+			got := g.vcOf(n)
+			for c := 0; c < np; c++ {
+				if got[c] != want[c] {
+					t.Fatalf("trial %d: vc(%v)[%d] = %d, want %d", trial, id, c, got[c], want[c])
+				}
+			}
+		}
+	}
+}
+
+// TestGraphGCKeepsSuffixesIntact garbage collects random stable prefixes
+// and verifies chains stay contiguous suffixes with a consistent index.
+func TestGraphGCKeepsSuffixesIntact(t *testing.T) {
+	const np = 4
+	g := newGraph(0, np)
+	for c := 0; c < np; c++ {
+		for k := uint64(1); k <= 20; k++ {
+			g.insert(event.Determinant{
+				ID: event.EventID{Creator: event.Rank(c), Clock: k}, Sender: 1, SendSeq: k, Lamport: k,
+			})
+		}
+	}
+	g.gc([]uint64{5, 20, 0, 13})
+	wantHeld := 15 + 0 + 20 + 7
+	if g.held != wantHeld {
+		t.Fatalf("held = %d, want %d", g.held, wantHeld)
+	}
+	for c := 0; c < np; c++ {
+		chain := g.chains[c]
+		for i, n := range chain {
+			if i > 0 && n.d.ID.Clock != chain[i-1].d.ID.Clock+1 {
+				t.Fatalf("chain %d not contiguous at %d", c, i)
+			}
+			if g.index[n.d.ID] != n {
+				t.Fatalf("index inconsistent for %v", n.d.ID)
+			}
+		}
+	}
+	// GC'd ids must be gone from the index.
+	if _, ok := g.index[event.EventID{Creator: 0, Clock: 5}]; ok {
+		t.Fatal("collected node still indexed")
+	}
+	// headOwn must survive only if still live.
+	if g.headOwn == nil || g.headOwn.d.ID.Clock != 20 {
+		t.Fatalf("headOwn = %+v", g.headOwn)
+	}
+	g.gc([]uint64{20, 20, 20, 20})
+	if g.headOwn != nil {
+		t.Fatal("headOwn should be nil after full GC of own chain")
+	}
+}
+
+// TestKnowledgeOfInfiniteForSelf checks a destination is always credited
+// with its own events.
+func TestKnowledgeOfInfiniteForSelf(t *testing.T) {
+	g := newGraph(0, 3)
+	g.insert(event.Determinant{ID: event.EventID{Creator: 1, Clock: 4}, Sender: 0, SendSeq: 4, Lamport: 1})
+	known := g.knowledgeOf(1)
+	if known[1] != ^uint64(0) {
+		t.Fatalf("known[dst] = %d, want max", known[1])
+	}
+}

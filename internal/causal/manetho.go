@@ -1,0 +1,82 @@
+package causal
+
+import (
+	"mpichv/internal/event"
+)
+
+// Manetho is the reference antecedence-graph protocol (Elnozahy &
+// Zwaenepoel). On each emission it crosses the graph from the last known
+// reception of the destination to bound the events the destination already
+// holds, and piggybacks the complement in factored order. Because the
+// piggyback carries no ordering guarantee, the receiving side must insert
+// all vertices before resolving cross edges — a second pass over the batch
+// that makes Manetho's reception handling the most expensive of the three
+// protocols (paper §V-D.2).
+type Manetho struct {
+	g *graph
+}
+
+// NewManetho returns an empty Manetho reducer for rank self of np
+// processes.
+func NewManetho(self event.Rank, np int) *Manetho {
+	return &Manetho{g: newGraph(self, np)}
+}
+
+// Name implements Reducer.
+func (m *Manetho) Name() string { return "manetho" }
+
+// AddLocal implements Reducer.
+func (m *Manetho) AddLocal(d event.Determinant) int64 {
+	_, ops := m.g.insert(d)
+	return ops
+}
+
+// Merge implements Reducer. Cost model: the factored batch carries no
+// ordering guarantee, so Manetho inserts all vertices first and then
+// resolves cross edges against the graph — three passes over the batch
+// plus a bounded re-crossing of the graph, the most expensive reception
+// handling of the three protocols (paper §V-D.2).
+func (m *Manetho) Merge(src event.Rank, ds []event.Determinant) int64 {
+	for _, d := range ds {
+		m.g.insert(d)
+	}
+	m.g.mergeLearn(src, ds)
+	return 3*int64(len(ds)) + int64(m.g.held)/32
+}
+
+// PiggybackFor implements Reducer. Cost model: the emission crossing visits
+// the graph from the destination's last known reception (a term
+// proportional to the held graph size — without an Event Logger the graph
+// keeps growing and so does this cost) plus 2 ops per emitted event and one
+// probe per creator chain.
+func (m *Manetho) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
+	nodes, creators := m.g.frontier(dst)
+	ops := creators + int64(m.g.held)/4
+	if len(nodes) == 0 {
+		return nil, ops
+	}
+	out := make([]event.Determinant, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.d
+	}
+	return out, ops + 2*int64(len(out))
+}
+
+// Stable implements Reducer.
+func (m *Manetho) Stable(vec []uint64) int64 { return m.g.gc(vec) }
+
+// Held implements Reducer.
+func (m *Manetho) Held() int { return m.g.held }
+
+// HeldFor implements Reducer.
+func (m *Manetho) HeldFor(creator event.Rank) []event.Determinant {
+	return m.g.heldFor(creator)
+}
+
+// All implements Reducer.
+func (m *Manetho) All() []event.Determinant { return m.g.all() }
+
+// PiggybackBytes implements Reducer (factored encoding).
+func (m *Manetho) PiggybackBytes(ds []event.Determinant) int {
+	return event.FactoredSize(ds)
+}

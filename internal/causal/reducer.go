@@ -1,0 +1,124 @@
+// Package causal implements the paper's three causal message logging
+// piggyback-reduction protocols: Vcausal, Manetho and LogOn.
+//
+// All three share the same contract (Reducer): the communication daemon
+// notifies the reducer of locally created reception determinants
+// (AddLocal), of determinants piggybacked on incoming messages (Merge) and
+// of Event Logger acknowledgments (Stable); before each send it asks which
+// held determinants must accompany the outgoing message (PiggybackFor).
+//
+// # Cost model
+//
+// Each mutating call returns an operation count: the number of elementary
+// steps (graph node visits, comparisons, appends, sort steps) the protocol
+// as described in the paper performs for that call. The daemon converts
+// ops to virtual CPU time; this is the quantity Figure 8 of the paper
+// reports. The counts follow the paper's qualitative analysis:
+//
+// With K the piggyback length, C the number of creator chains, H the held
+// graph size:
+//
+//   - Vcausal needs no graph: send scans per-creator sequences (C + K),
+//     merge appends (K ops). No term depends on H — the paper's "light
+//     computation cost" protocol.
+//   - Manetho crosses the antecedence graph on each emission
+//     (C + 2K + H/4 — the H term is the paper's "the complete graph has to
+//     be traversed for each emission", which makes no-EL costs grow with
+//     the uncollected graph) and pays the most expensive reception of the
+//     three (3K + H/32): the factored piggyback carries no ordering
+//     guarantee, so vertices must all be inserted before cross edges can
+//     be resolved against the graph.
+//   - LogOn pays its crossing and the reordering at emission
+//     (C + K·(1+⌈log₂(K+1)⌉) + H/3) so the receiver can merge in a single
+//     cheap pass (K): antecedents always precede their descendants.
+//
+// These coefficients reproduce the paper's orderings: Vcausal is always
+// cheapest; LogOn's heavier emission loses to Manetho when graphs grow
+// large (LU without EL); Manetho's expensive reception loses to LogOn when
+// the EL keeps state small but message counts are high (LU/CG with EL,
+// FT's all-to-all).
+//
+// The piggyback *set* produced by Manetho and LogOn is identical (both
+// protocols compute the complement of the destination's inferred
+// knowledge); they differ in emission order, wire encoding (factored vs
+// flat) and cost. Vcausal's set is larger because it only tracks knowledge
+// learned through direct exchanges, with no antecedence inference.
+package causal
+
+import (
+	"mpichv/internal/event"
+)
+
+// Reducer is the piggyback-management strategy of a causal logging process.
+// Implementations are single-process state machines driven by the daemon;
+// they are not safe for concurrent use (the simulator is single-threaded by
+// construction).
+type Reducer interface {
+	// Name returns the protocol name ("vcausal", "manetho", "logon").
+	Name() string
+
+	// AddLocal records a determinant just created by the local process
+	// (delivery of a message). It must be called after Merge of the same
+	// message's piggyback, so antecedents are already present. Returns the
+	// op count.
+	AddLocal(d event.Determinant) int64
+
+	// Merge incorporates determinants piggybacked on a message received
+	// from src, in the order the wire carried them. Returns the op count.
+	Merge(src event.Rank, ds []event.Determinant) int64
+
+	// PiggybackFor returns the held determinants that must accompany the
+	// next message to dst, in protocol emission order, plus the op count.
+	// The reducer commits the optimistic assumption that dst now knows
+	// them (no event is ever sent twice between the same pair, §III-B).
+	PiggybackFor(dst event.Rank) ([]event.Determinant, int64)
+
+	// Stable applies an Event Logger acknowledgment: for every creator c,
+	// events with clock ≤ vec[c] are stably logged and are garbage
+	// collected from volatile state. Returns the op count.
+	Stable(vec []uint64) int64
+
+	// Held reports how many determinants are currently in volatile memory
+	// (the paper's "size of the antecedence graph in the node memory").
+	Held() int
+
+	// HeldFor returns the held determinants created by the given rank in
+	// clock order. Recovery uses it to reclaim a crashed process's events
+	// from survivors when no Event Logger is deployed.
+	HeldFor(creator event.Rank) []event.Determinant
+
+	// All returns every held determinant (stored into checkpoint images).
+	All() []event.Determinant
+
+	// PiggybackBytes reports the wire size of a piggyback in this
+	// protocol's encoding (factored for Vcausal/Manetho, flat for LogOn).
+	PiggybackBytes(ds []event.Determinant) int
+}
+
+// New constructs the reducer named name ("vcausal", "manetho" or "logon")
+// for a process of rank self in a world of np processes. It panics on an
+// unknown name; protocol selection is a configuration-time decision.
+func New(name string, self event.Rank, np int) Reducer {
+	switch name {
+	case "vcausal":
+		return NewVcausal(self, np)
+	case "manetho":
+		return NewManetho(self, np)
+	case "logon":
+		return NewLogOn(self, np)
+	}
+	panic("causal: unknown reducer " + name)
+}
+
+// Names lists the available reducers in the paper's presentation order.
+func Names() []string { return []string{"vcausal", "manetho", "logon"} }
+
+// log2ceil returns ⌈log₂(n+1)⌉, the per-element sort factor charged to
+// LogOn's emission reordering.
+func log2ceil(n int) int64 {
+	bits := int64(0)
+	for v := n; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

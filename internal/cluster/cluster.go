@@ -1,0 +1,253 @@
+// Package cluster assembles complete MPICH-V deployments (Figure 5 of the
+// paper): computing nodes with their communication daemons, and the
+// auxiliary stable servers — Event Logger, checkpoint server, checkpoint
+// scheduler and dispatcher — on dedicated endpoints of one simulated
+// Fast-Ethernet network.
+package cluster
+
+import (
+	"fmt"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/daemon"
+	"mpichv/internal/event"
+	"mpichv/internal/eventlogger"
+	"mpichv/internal/failure"
+	"mpichv/internal/mpi"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/protocols"
+	"mpichv/internal/sim"
+	"mpichv/internal/trace"
+)
+
+// Stack names selectable in Config.
+const (
+	StackRawTCP      = "rawtcp"
+	StackP4          = "p4"
+	StackVdummy      = "vdummy"
+	StackVcausal     = "vcausal"
+	StackPessimistic = "pessimistic"
+	StackCoordinated = "coordinated"
+)
+
+// Config describes one deployment.
+type Config struct {
+	// NP is the number of MPI processes (one per computing node).
+	NP int
+	// Stack selects the communication stack / fault-tolerance protocol.
+	Stack string
+	// Reducer selects the piggyback reduction technique for StackVcausal:
+	// "vcausal", "manetho" or "logon".
+	Reducer string
+	// UseEL deploys the Event Logger (StackVcausal only; pessimistic
+	// logging always requires it).
+	UseEL bool
+	// EventLoggers is the number of Event Logger servers (default 1). With
+	// more than one, processes are assigned round-robin (rank mod n) and
+	// the loggers synchronize their stable arrays — the paper's future-work
+	// distribution design.
+	EventLoggers int
+	// ELSync selects the stability dissemination design for distributed
+	// Event Loggers ("exchange" or "broadcast"; default exchange).
+	ELSync eventlogger.SyncPolicy
+	// ELSyncInterval is the dissemination period (default 2ms).
+	ELSyncInterval sim.Time
+
+	// Net is the wire model; zero value selects Fast Ethernet.
+	Net netmodel.Config
+	// Cal is the protocol CPU cost model; zero value selects the default.
+	Cal daemon.Calibration
+	// EL is the Event Logger service model; zero value selects the default.
+	EL eventlogger.Config
+	// CkptServer is the checkpoint server cost model; zero selects default.
+	CkptServer checkpoint.ServerConfig
+
+	// CkptPolicy and CkptInterval drive the checkpoint scheduler.
+	// PolicyNone / zero interval disables checkpointing.
+	CkptPolicy   checkpoint.Policy
+	CkptInterval sim.Time
+
+	// RestartDelay models fault detection plus relaunch (default 250 ms).
+	RestartDelay sim.Time
+
+	// AppStateBytes is the modeled checkpoint image size of the
+	// application state (default 8 MB).
+	AppStateBytes int64
+
+	// Seed drives all stochastic choices (default 1).
+	Seed int64
+
+	// RecordDeliveries enables per-step delivery logging on every node
+	// (consistency validation in tests).
+	RecordDeliveries bool
+}
+
+// Cluster is a wired deployment ready to run programs.
+type Cluster struct {
+	Cfg        Config
+	K          *sim.Kernel
+	Net        *netmodel.Network
+	Nodes      []*daemon.Node
+	Comms      []*mpi.Comm
+	EL         *eventlogger.Server // first logger (nil when none deployed)
+	ELGroup    *eventlogger.Group  // all loggers (nil when none deployed)
+	CkptServer *checkpoint.Server
+	Scheduler  *checkpoint.Scheduler
+	Dispatcher *failure.Dispatcher
+}
+
+// New builds a cluster per cfg. Endpoint layout: 0..NP-1 computing nodes,
+// NP Event Logger, NP+1 checkpoint server, NP+2 scheduler/dispatcher.
+func New(cfg Config) *Cluster {
+	if cfg.NP <= 0 {
+		panic("cluster: NP must be positive")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Net.BandwidthBps == 0 {
+		cfg.Net = netmodel.FastEthernet()
+	}
+	if cfg.Cal == (daemon.Calibration{}) {
+		cfg.Cal = daemon.DefaultCalibration()
+	}
+	if cfg.EL == (eventlogger.Config{}) {
+		cfg.EL = eventlogger.DefaultConfig()
+	}
+	if cfg.CkptServer == (checkpoint.ServerConfig{}) {
+		cfg.CkptServer = checkpoint.DefaultServerConfig()
+	}
+	if cfg.RestartDelay == 0 {
+		cfg.RestartDelay = 250 * sim.Millisecond
+	}
+	if cfg.AppStateBytes == 0 {
+		cfg.AppStateBytes = 8 << 20
+	}
+	if cfg.CkptPolicy == "" {
+		cfg.CkptPolicy = checkpoint.PolicyNone
+	}
+	if cfg.EventLoggers == 0 {
+		cfg.EventLoggers = 1
+	}
+	if cfg.ELSync == "" {
+		cfg.ELSync = eventlogger.SyncExchange
+	}
+	if cfg.ELSyncInterval == 0 {
+		cfg.ELSyncInterval = 2 * sim.Millisecond
+	}
+	if cfg.Stack == StackCoordinated && cfg.CkptPolicy != checkpoint.PolicyNone {
+		cfg.CkptPolicy = checkpoint.PolicyCoordinated
+	}
+
+	stack := stackFor(cfg.Stack)
+	if stack.HalfDuplex {
+		cfg.Net.FullDuplex = false
+	}
+
+	k := sim.NewKernel(cfg.Seed)
+	elFirst := cfg.NP
+	ckptEndpoint := cfg.NP + cfg.EventLoggers
+	schedEndpoint := ckptEndpoint + 1
+	net := netmodel.New(k, cfg.Net, schedEndpoint+1)
+
+	c := &Cluster{Cfg: cfg, K: k, Net: net}
+
+	wantEL := cfg.Stack == StackPessimistic || (cfg.Stack == StackVcausal && cfg.UseEL)
+	if wantEL {
+		c.ELGroup = eventlogger.NewGroup(k, net, elFirst, cfg.NP, eventlogger.GroupConfig{
+			Servers:      cfg.EventLoggers,
+			Sync:         cfg.ELSync,
+			SyncInterval: cfg.ELSyncInterval,
+			Service:      cfg.EL,
+		})
+		c.EL = c.ELGroup.Servers()[0]
+	}
+	c.CkptServer = checkpoint.NewServer(k, net, ckptEndpoint, cfg.NP, cfg.CkptServer)
+	c.Scheduler = checkpoint.NewScheduler(k, net, schedEndpoint, cfg.NP, cfg.CkptPolicy, cfg.CkptInterval)
+
+	for r := 0; r < cfg.NP; r++ {
+		proto := protoFor(cfg, event.Rank(r))
+		n := daemon.NewNode(k, net, event.Rank(r), cfg.NP, stack, cfg.Cal, proto)
+		n.CkptEndpoint = ckptEndpoint
+		n.DispatcherEndpoint = schedEndpoint
+		n.AppStateBytes = cfg.AppStateBytes
+		n.RecordDeliveries = cfg.RecordDeliveries
+		if wantEL {
+			n.ELEndpoint = c.ELGroup.EndpointFor(event.Rank(r))
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.Comms = append(c.Comms, mpi.NewComm(n))
+	}
+	return c
+}
+
+func stackFor(name string) daemon.StackConfig {
+	switch name {
+	case StackRawTCP:
+		return daemon.RawTCP()
+	case StackP4:
+		return daemon.P4()
+	case StackVdummy, StackVcausal, StackPessimistic, StackCoordinated:
+		return daemon.Vdaemon()
+	}
+	panic(fmt.Sprintf("cluster: unknown stack %q", name))
+}
+
+func protoFor(cfg Config, rank event.Rank) daemon.Protocol {
+	switch cfg.Stack {
+	case StackRawTCP, StackP4, StackVdummy:
+		return protocols.NewVdummy()
+	case StackVcausal:
+		reducer := cfg.Reducer
+		if reducer == "" {
+			reducer = "vcausal"
+		}
+		return protocols.NewVcausal(reducer, rank, cfg.NP, cfg.UseEL)
+	case StackPessimistic:
+		return protocols.NewPessimistic()
+	case StackCoordinated:
+		return protocols.NewCoordinated()
+	}
+	panic(fmt.Sprintf("cluster: unknown stack %q", cfg.Stack))
+}
+
+// Run launches one program per rank and executes the simulation until all
+// programs complete or maxVirtual elapses. It returns the completion time.
+func (c *Cluster) Run(programs []failure.Program, maxVirtual sim.Time) sim.Time {
+	d := c.PrepareRun(programs)
+	d.Launch()
+	return c.RunLaunched(maxVirtual)
+}
+
+// PrepareRun wires a dispatcher for the programs without launching, so
+// callers can schedule faults first.
+func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
+	if len(programs) != c.Cfg.NP {
+		panic("cluster: one program per rank required")
+	}
+	d := failure.NewDispatcher(c.K, c.Nodes, programs)
+	d.Coordinated = c.Cfg.Stack == StackCoordinated
+	d.RestartDelay = c.Cfg.RestartDelay
+	d.OnAllDone = c.K.Stop
+	c.Dispatcher = d
+	return d
+}
+
+// RunLaunched executes an already-launched deployment to completion (or
+// the maxVirtual safety deadline) and returns the final time.
+func (c *Cluster) RunLaunched(maxVirtual sim.Time) sim.Time {
+	end := c.K.RunUntil(maxVirtual)
+	if !c.Dispatcher.AllDone() {
+		panic(fmt.Sprintf("cluster: run did not complete before %v (deadlock or deadline too tight)", maxVirtual))
+	}
+	return end
+}
+
+// AggregateStats sums all per-node probes.
+func (c *Cluster) AggregateStats() trace.Stats {
+	var total trace.Stats
+	for _, n := range c.Nodes {
+		total.Add(n.Stats())
+	}
+	return total
+}

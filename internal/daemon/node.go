@@ -1,0 +1,823 @@
+// Package daemon implements the generic MPICH-V communication daemon
+// (Vdaemon) and the V-protocol hook interface that fault-tolerance stacks
+// plug into (Figure 4 of the paper).
+//
+// One Node represents one computing node: the MPI process plus its
+// communication daemon. The paper runs them as two OS processes joined by
+// pipes; the simulation folds both into one simulated process and charges
+// the pipe crossings as CPU time (StackConfig.PipeOverhead/PipePerByte),
+// which preserves the measured MPICH-P4 → MPICH-Vdummy latency gap while
+// keeping every protocol action on one deterministic timeline.
+//
+// Incoming packets are processed when the process touches the
+// communication layer (send, receive, or explicit waits) — the same
+// single-threaded progress semantics as MPICH's ch_p4 device.
+package daemon
+
+import (
+	"fmt"
+	"sort"
+
+	"mpichv/internal/event"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/trace"
+	"mpichv/internal/vproto"
+)
+
+// AnySource matches any sender rank in Recv.
+const AnySource = event.Rank(-1)
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// DeliveryRecord identifies the message consumed at one program step.
+type DeliveryRecord struct {
+	Src     event.Rank
+	SendSeq uint64
+}
+
+// Protocol is the V-protocol fault-tolerance hook API. The generic daemon
+// calls these hooks at fixed points; implementations (Vdummy, Vcausal,
+// pessimistic, coordinated) supply the fault-tolerance behaviour.
+type Protocol interface {
+	// Name identifies the stack ("vdummy", "vcausal", "pessimistic", ...).
+	Name() string
+	// PreSend runs in the sender's context before m is transmitted; it may
+	// attach piggyback, log the payload, charge CPU or block.
+	PreSend(n *Node, m *vproto.Message)
+	// OnDeliver runs in the receiver's context when an application message
+	// is delivered to the application (MPI match).
+	OnDeliver(n *Node, m *vproto.Message)
+	// OnControl handles protocol-specific control packets (Event Logger
+	// acknowledgments, markers, ...).
+	OnControl(n *Node, pkt *vproto.Packet)
+	// TakeSnapshot performs the protocol's checkpoint procedure at an
+	// operation boundary: message-logging stacks block on a transactional
+	// store; coordinated checkpointing runs the Chandy-Lamport marker
+	// algorithm.
+	TakeSnapshot(n *Node)
+	// Snapshot contributes protocol state to a checkpoint image.
+	Snapshot(n *Node, im *vproto.CheckpointImage)
+	// Restore rebuilds protocol state from a checkpoint image at restart.
+	Restore(n *Node, im *vproto.CheckpointImage)
+	// Integrate feeds determinants and a stability vector collected during
+	// recovery into the protocol state.
+	Integrate(n *Node, ds []event.Determinant, stable []uint64)
+	// HeldFor returns held determinants created by the given rank, for
+	// serving a recovering peer (nil when the protocol keeps none).
+	HeldFor(creator event.Rank) []event.Determinant
+	// UsesSenderLog reports whether the stack logs payloads for replay.
+	UsesSenderLog() bool
+}
+
+// PacketObserver is an optional Protocol extension invoked when an
+// application packet is accepted by the daemon (before MPI matching). The
+// coordinated stack uses it to record in-transit messages for the
+// Chandy-Lamport channel state.
+type PacketObserver interface {
+	OnPacketAccepted(n *Node, m *vproto.Message)
+}
+
+// Node is one computing node of the MPICH-V deployment.
+type Node struct {
+	k   *sim.Kernel
+	net *netmodel.Network
+	ep  *netmodel.Endpoint
+
+	rank event.Rank
+	np   int
+
+	// Stack is the software cost model; Cal converts protocol work to CPU
+	// time; Proto is the fault-tolerance stack.
+	Stack StackConfig
+	Cal   Calibration
+	Proto Protocol
+
+	// Endpoint ids of the auxiliary stable servers (-1 when not deployed).
+	ELEndpoint         int
+	CkptEndpoint       int
+	DispatcherEndpoint int
+
+	// AppStateBytes is the modeled size of the application state, included
+	// in checkpoint images (set by the workload).
+	AppStateBytes int64
+
+	proc *sim.Proc
+
+	// MPI receive machinery.
+	recvQ    []*vproto.Message
+	seqTrack []seqTracker
+
+	// Event-logging counters.
+	clock     uint64
+	sendSeq   []uint64 // per-destination channel sequence counters
+	lamport   uint64
+	lastEvent event.EventID
+
+	// Program position: step counts completed MPI operations; operations
+	// with step < skipUntil are fast-forwarded after a restart.
+	step      int64
+	skipUntil int64
+
+	// Replay: determinants the restarted process must conform to.
+	replayDets    []event.Determinant
+	replayIdx     int
+	recoveryStart sim.Time
+
+	// Checkpointing.
+	ckptRequested bool
+	ckptEpoch     int
+	awaitCkptAck  bool
+
+	// Recovery rendezvous state, filled by process() while recover() waits.
+	pendingImage   *vproto.CheckpointImage
+	imageArrived   bool
+	collectedDets  []event.Determinant
+	collectedStab  []uint64
+	detRespsWanted int
+	// recovering buffers application packets in heldApp until the
+	// checkpoint image (and with it the duplicate-suppression floors) is
+	// restored; accepting them earlier would corrupt the trackers.
+	recovering bool
+	heldApp    []*vproto.Message
+
+	// Coordinated-protocol channel recording (Chandy-Lamport); managed by
+	// the coordinated stack through the hook calls but stored here so the
+	// daemon can re-inject recorded messages on restore.
+	Recording     map[event.Rank]bool
+	RecordedMsgs  []vproto.Message
+	MarkerEpoch   int
+	MarkersWanted int
+
+	// Log is the sender-based payload log (message-logging stacks).
+	Log *SenderLog
+
+	// RecordDeliveries enables the per-step delivery log used by
+	// consistency tests: replayed executions must consume the same message
+	// at every program step as the original run.
+	RecordDeliveries bool
+	// Deliveries maps program step → delivered (sender, send sequence).
+	Deliveries map[int64]DeliveryRecord
+
+	stats trace.Stats
+	done  bool
+}
+
+// NewNode builds a node bound to endpoint rank of net.
+func NewNode(k *sim.Kernel, net *netmodel.Network, rank event.Rank, np int,
+	stack StackConfig, cal Calibration, proto Protocol) *Node {
+	n := &Node{
+		k: k, net: net, ep: net.Endpoint(int(rank)),
+		rank: rank, np: np,
+		Stack: stack, Cal: cal, Proto: proto,
+		ELEndpoint: -1, CkptEndpoint: -1, DispatcherEndpoint: -1,
+		seqTrack: make([]seqTracker, np),
+		sendSeq:  make([]uint64, np),
+		Log:      NewSenderLog(),
+	}
+	return n
+}
+
+// Bind attaches the node to its (re)spawned simulated process. It must be
+// called at the top of every incarnation's body.
+func (n *Node) Bind(p *sim.Proc) { n.proc = p; n.done = false }
+
+// Accessors.
+
+// Rank returns the node's MPI rank.
+func (n *Node) Rank() event.Rank { return n.rank }
+
+// NP returns the number of application processes.
+func (n *Node) NP() int { return n.np }
+
+// Now returns the current virtual time.
+func (n *Node) Now() sim.Time { return n.k.Now() }
+
+// Kernel returns the owning simulation kernel.
+func (n *Node) Kernel() *sim.Kernel { return n.k }
+
+// Network returns the network the node is attached to.
+func (n *Node) Network() *netmodel.Network { return n.net }
+
+// Stats returns the node's measurement probes.
+func (n *Node) Stats() *trace.Stats { return &n.stats }
+
+// Step returns the number of completed MPI operations.
+func (n *Node) Step() int64 { return n.step }
+
+// Skipping reports whether the node is fast-forwarding to its checkpointed
+// program position.
+func (n *Node) Skipping() bool { return n.step < n.skipUntil }
+
+// Replaying reports whether deliveries are being conformed to collected
+// determinants.
+func (n *Node) Replaying() bool { return n.replayIdx < len(n.replayDets) }
+
+// LastEvent returns the node's latest nondeterministic event id.
+func (n *Node) LastEvent() event.EventID { return n.lastEvent }
+
+// Lamport returns the node's current Lamport clock.
+func (n *Node) Lamport() uint64 { return n.lamport }
+
+// Clock returns the node's nondeterministic-event clock (the number of
+// reception determinants it has created).
+func (n *Node) Clock() uint64 { return n.clock }
+
+// RecvQueueSnapshot returns copies of the currently delivered, unconsumed
+// application messages (Chandy-Lamport channel-state seeding).
+func (n *Node) RecvQueueSnapshot() []vproto.Message {
+	out := make([]vproto.Message, 0, len(n.recvQ))
+	for _, m := range n.recvQ {
+		out = append(out, *m)
+	}
+	return out
+}
+
+// ChargeCPU blocks the node's process for d of virtual compute time.
+func (n *Node) ChargeCPU(d sim.Time) {
+	if d > 0 {
+		n.proc.Sleep(d)
+	}
+}
+
+// SendPacket transmits a control packet to an endpoint, accounting it as
+// protocol control traffic.
+func (n *Node) SendPacket(endpoint int, bytes int, pkt *vproto.Packet) {
+	pkt.From = n.ep.ID()
+	if pkt.Kind != vproto.PktApp {
+		n.stats.ControlBytes += int64(bytes)
+		n.stats.ControlMsgs++
+	}
+	n.ep.Send(endpoint, bytes, pkt)
+}
+
+// --- Application-facing operations (the MPI layer builds on these) ---
+
+// computeChunk bounds how long the daemon goes unresponsive during
+// application computation: between chunks it drains delivered packets, so
+// incoming messages are accepted and recovery/control requests are served
+// while the application computes — as the real MPICH-V daemon does from
+// its own process.
+const computeChunk = 500 * sim.Microsecond
+
+// Compute models d of application computation.
+func (n *Node) Compute(d sim.Time) {
+	n.maybeCheckpoint()
+	n.step++
+	if n.step <= n.skipUntil {
+		return
+	}
+	for d > 0 {
+		chunk := d
+		if chunk > computeChunk {
+			chunk = computeChunk
+		}
+		n.proc.Sleep(chunk)
+		d -= chunk
+		n.drain()
+	}
+}
+
+// Send transmits an application message of the given payload size.
+func (n *Node) Send(dst event.Rank, tag int, bytes int) {
+	n.maybeCheckpoint()
+	n.drain()
+	n.step++
+	if n.step <= n.skipUntil {
+		return
+	}
+	n.sendSeq[dst]++
+	m := &vproto.Message{
+		Src: n.rank, Dst: dst, Tag: tag, Bytes: bytes,
+		SendSeq: n.sendSeq[dst], Lamport: n.lamport, SenderLast: n.lastEvent,
+	}
+	n.Proto.PreSend(n, m)
+	n.transmit(m)
+}
+
+// transmit charges the send-side software costs and puts m on the wire.
+// It is also used to re-emit logged payloads during a peer's recovery.
+func (n *Node) transmit(m *vproto.Message) {
+	cpu := n.Stack.SendOverhead + n.Stack.PipeOverhead +
+		sim.Time(int64(m.Bytes)*int64(n.Stack.CopyPerByte+n.Stack.PipePerByte))
+	n.ChargeCPU(cpu)
+
+	wire := m.Bytes + n.Stack.HeaderBytes + m.PiggybackBytes
+	n.stats.AppBytesSent += int64(m.Bytes)
+	n.stats.AppMsgsSent++
+	n.stats.HeaderBytes += int64(n.Stack.HeaderBytes)
+	n.stats.PiggybackBytes += int64(m.PiggybackBytes)
+	n.stats.PiggybackEvents += int64(len(m.Piggyback))
+	n.ep.Send(int(m.Dst), wire, &vproto.Packet{Kind: vproto.PktApp, From: n.ep.ID(), App: m})
+}
+
+// Recv blocks until a message matching (src, tag) is delivered and returns
+// it. src may be AnySource and tag may be AnyTag. During replay the
+// collected determinants dictate the delivery order instead.
+func (n *Node) Recv(src event.Rank, tag int) *vproto.Message {
+	n.maybeCheckpoint()
+	n.step++
+	if n.step <= n.skipUntil {
+		return &vproto.Message{Src: src, Dst: n.rank, Tag: tag}
+	}
+	for {
+		n.drain()
+		if i := n.match(src, tag); i >= 0 {
+			m := n.recvQ[i]
+			n.recvQ = append(n.recvQ[:i], n.recvQ[i+1:]...)
+			n.Proto.OnDeliver(n, m)
+			if n.RecordDeliveries {
+				if n.Deliveries == nil {
+					n.Deliveries = make(map[int64]DeliveryRecord)
+				}
+				rec := DeliveryRecord{Src: m.Src, SendSeq: m.SendSeq}
+				if prev, ok := n.Deliveries[n.step]; ok && prev != rec {
+					panic(fmt.Sprintf("daemon: rank %d step %d replay consumed %+v, original %+v",
+						n.rank, n.step, rec, prev))
+				}
+				n.Deliveries[n.step] = rec
+			}
+			return m
+		}
+		n.WaitPacket()
+		// The daemon can honour a checkpoint request while the application
+		// is blocked waiting for a message (in the real system the daemon
+		// checkpoints the process regardless of what the MPI call is
+		// doing). The in-progress Recv has already been counted in step, so
+		// the image must exclude it: on restore the Recv re-executes and
+		// consumes its message.
+		if n.ckptRequested && !n.Skipping() && !n.Replaying() && n.CkptEndpoint >= 0 {
+			n.ckptRequested = false
+			n.step--
+			n.Proto.TakeSnapshot(n)
+			n.step++
+		}
+	}
+}
+
+// match returns the index of the first queued message deliverable to a
+// Recv(src, tag) call, honouring replay order, or -1.
+func (n *Node) match(src event.Rank, tag int) int {
+	if n.Replaying() {
+		want := n.replayDets[n.replayIdx]
+		for i, m := range n.recvQ {
+			if m.Src == want.Sender && m.SendSeq == want.SendSeq {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, m := range n.recvQ {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CreateDeterminant assigns the reception determinant for a just-delivered
+// message: a fresh event in normal operation, or the next collected
+// determinant during replay (conformance is asserted). Protocol OnDeliver
+// hooks call this exactly once per delivered message. The boolean reports
+// whether the determinant is new (and should be shipped to the Event
+// Logger).
+func (n *Node) CreateDeterminant(m *vproto.Message) (event.Determinant, bool) {
+	if n.Replaying() {
+		d := n.replayDets[n.replayIdx]
+		if d.Sender != m.Src || d.SendSeq != m.SendSeq {
+			panic(fmt.Sprintf("daemon: replay divergence on rank %d: determinant %v vs message src=%d seq=%d",
+				n.rank, d, m.Src, m.SendSeq))
+		}
+		n.replayIdx++
+		n.clock = d.ID.Clock
+		n.lastEvent = d.ID
+		if d.Lamport > n.lamport {
+			n.lamport = d.Lamport
+		}
+		if !n.Replaying() && n.recoveryStart > 0 {
+			n.stats.RecoveryTotal += n.Now() - n.recoveryStart
+			n.recoveryStart = 0
+		}
+		return d, false
+	}
+	if m.Lamport > n.lamport {
+		n.lamport = m.Lamport
+	}
+	n.lamport++
+	n.clock++
+	d := event.Determinant{
+		ID:      event.EventID{Creator: n.rank, Clock: n.clock},
+		Sender:  m.Src,
+		SendSeq: m.SendSeq,
+		Parent:  m.SenderLast,
+		Lamport: n.lamport,
+	}
+	n.lastEvent = d.ID
+	n.stats.EventsCreated++
+	return d, true
+}
+
+// Finish marks the program complete (used by harnesses to detect the end).
+func (n *Node) Finish() { n.done = true }
+
+// Done reports whether the program completed.
+func (n *Node) Done() bool { return n.done }
+
+// --- Packet processing ---
+
+// drain processes every packet already delivered to this node.
+func (n *Node) drain() {
+	for {
+		d, ok := n.ep.Inbox.TryGet()
+		if !ok {
+			return
+		}
+		n.process(d)
+	}
+}
+
+// WaitPacket blocks until one more packet arrives and processes it.
+func (n *Node) WaitPacket() {
+	d := n.ep.Inbox.Get(n.proc)
+	n.process(d)
+}
+
+func (n *Node) process(d netmodel.Delivery) {
+	pkt := d.Payload.(*vproto.Packet)
+	switch pkt.Kind {
+	case vproto.PktApp:
+		m := pkt.App
+		if n.recovering {
+			n.heldApp = append(n.heldApp, m)
+			return
+		}
+		cpu := n.Stack.RecvOverhead + n.Stack.PipeOverhead +
+			sim.Time(int64(m.Bytes)*int64(n.Stack.CopyPerByte+n.Stack.PipePerByte))
+		n.ChargeCPU(cpu)
+		if !n.seqTrack[m.Src].accept(m.SendSeq) {
+			return // duplicate (replayed or rollback re-sent)
+		}
+		n.recvQ = append(n.recvQ, m)
+		if po, ok := n.Proto.(PacketObserver); ok {
+			po.OnPacketAccepted(n, m)
+		}
+
+	case vproto.PktCkptAck:
+		n.awaitCkptAck = false
+
+	case vproto.PktCkptImage:
+		n.pendingImage = pkt.Image
+		n.imageArrived = true
+
+	case vproto.PktEventQueryResp:
+		n.collectedDets = append(n.collectedDets, pkt.Determinants...)
+		n.collectedStab = pkt.StableVec
+		n.detRespsWanted--
+
+	case vproto.PktDetResponse:
+		n.collectedDets = append(n.collectedDets, pkt.Determinants...)
+		n.detRespsWanted--
+
+	case vproto.PktDetRequest:
+		n.serveDetRequest(pkt)
+
+	case vproto.PktCkptGC:
+		n.Log.TrimTo(pkt.Rank, pkt.SeqFloor)
+
+	default:
+		n.Proto.OnControl(n, pkt)
+	}
+}
+
+// serveDetRequest answers a recovering peer: held determinants of the
+// requested creator (if asked) and replay of logged payloads.
+func (n *Node) serveDetRequest(pkt *vproto.Packet) {
+	requester := event.Rank(pkt.Creator)
+	if pkt.WantDets {
+		dets := n.Proto.HeldFor(pkt.Creator)
+		bytes := event.FactoredSize(dets) + 32
+		n.ChargeCPU(sim.Time(len(dets)) * n.Cal.PerEventSend / 4)
+		n.SendPacket(int(requester), bytes, &vproto.Packet{
+			Kind:         vproto.PktDetResponse,
+			Determinants: dets,
+		})
+	}
+	if n.Proto.UsesSenderLog() {
+		for _, lp := range n.Log.For(requester, pkt.SeqFloor) {
+			m := lp.Msg
+			m.Replay = true
+			n.transmit(&m)
+		}
+	}
+}
+
+// RequestCheckpoint marks a checkpoint request to be honoured at the next
+// operation boundary (set from protocol OnControl hooks).
+func (n *Node) RequestCheckpoint(epoch int) {
+	n.ckptRequested = true
+	n.ckptEpoch = epoch
+}
+
+// maybeCheckpoint honours a pending checkpoint request at an operation
+// boundary (never while fast-forwarding or replaying).
+func (n *Node) maybeCheckpoint() {
+	if !n.ckptRequested || n.Skipping() || n.Replaying() || n.CkptEndpoint < 0 {
+		return
+	}
+	n.ckptRequested = false
+	n.Proto.TakeSnapshot(n)
+}
+
+// CheckpointEpoch returns the epoch of the most recent checkpoint request.
+func (n *Node) CheckpointEpoch() int { return n.ckptEpoch }
+
+// BuildImage assembles a checkpoint image of the current state, including
+// the protocol's contribution.
+func (n *Node) BuildImage() *vproto.CheckpointImage {
+	im := &vproto.CheckpointImage{
+		Rank:        n.rank,
+		Epoch:       n.ckptEpoch,
+		Step:        n.step,
+		AppBytes:    n.AppStateBytes,
+		Clock:       n.clock,
+		SendSeqs:    append([]uint64(nil), n.sendSeq...),
+		Lamport:     n.lamport,
+		LastSeqSeen: make([]uint64, n.np),
+	}
+	for i := range n.seqTrack {
+		im.LastSeqSeen[i] = n.seqTrack[i].consumedFloor()
+	}
+	// Messages accepted by the daemon but not yet consumed by the
+	// application are daemon state: they are inside the duplicate
+	// suppression floors, so they must travel with the image or they would
+	// be lost on restore.
+	im.ChannelMsgs = n.RecvQueueSnapshot()
+	n.Proto.Snapshot(n, im)
+	return im
+}
+
+// TakeCheckpoint snapshots the process and stores the image on the
+// checkpoint server, blocking until the transaction is acknowledged. This
+// is the uncoordinated (message-logging) checkpoint procedure.
+func (n *Node) TakeCheckpoint() {
+	im := n.BuildImage()
+
+	n.awaitCkptAck = true
+	n.SendPacket(n.CkptEndpoint, int(im.Bytes()), &vproto.Packet{
+		Kind: vproto.PktCkptStore, Image: im, Rank: n.rank, Epoch: im.Epoch,
+	})
+	for n.awaitCkptAck {
+		n.WaitPacket()
+	}
+	n.stats.Checkpoints++
+	n.stats.CheckpointBytes += im.Bytes()
+
+	// Sender-based log GC: peers can discard payloads this checkpoint now
+	// covers. The floors must come from the image itself — messages
+	// accepted while we waited for the store acknowledgment are not in the
+	// image and will be needed again if we restart from it.
+	if n.Proto.UsesSenderLog() {
+		for r := 0; r < n.np; r++ {
+			if event.Rank(r) == n.rank {
+				continue
+			}
+			n.SendPacket(r, 16, &vproto.Packet{
+				Kind: vproto.PktCkptGC, Rank: n.rank,
+				SeqFloor: im.LastSeqSeen[r],
+			})
+		}
+	}
+}
+
+// --- Recovery ---
+
+// PrepareRecovery resets volatile state at the start of a restarted
+// incarnation, fetches the checkpoint image, collects determinants (from
+// the Event Logger if deployed, otherwise from every surviving peer) and
+// requests payload replay. It must be called before the application
+// program runs.
+func (n *Node) PrepareRecovery() {
+	n.recoveryStart = n.Now()
+	n.stats.Recoveries++
+
+	// Stale packets addressed to the previous incarnation are dropped;
+	// anything that matters is covered by replay.
+	n.ep.Inbox.Drain()
+	n.recvQ = nil
+	n.replayDets = nil
+	n.replayIdx = 0
+	n.step = 0
+	n.skipUntil = 0
+	n.clock, n.lamport = 0, 0
+	n.sendSeq = make([]uint64, n.np)
+	n.lastEvent = event.EventID{}
+	n.ckptRequested = false
+	for i := range n.seqTrack {
+		n.seqTrack[i].reset(0)
+	}
+	n.Log = NewSenderLog()
+
+	// 1. Fetch the latest checkpoint image. Application packets arriving
+	// while the duplicate-suppression floors are unknown are held aside
+	// and re-accepted once the image is restored.
+	n.recovering = true
+	n.imageArrived = false
+	n.SendPacket(n.CkptEndpoint, 32, &vproto.Packet{
+		Kind: vproto.PktCkptFetch, Rank: n.rank, Epoch: -1,
+	})
+	for !n.imageArrived {
+		n.WaitPacket()
+	}
+	im := n.pendingImage
+	n.pendingImage = nil
+	if im != nil {
+		n.restoreImage(im)
+	} else {
+		im = &vproto.CheckpointImage{Rank: n.rank, LastSeqSeen: make([]uint64, n.np)}
+		n.Proto.Restore(n, im)
+	}
+	n.flushHeldApp()
+
+	// 2. Collect the determinants to replay (timed: the paper's Figure 10).
+	collectStart := n.Now()
+	n.collectedDets = nil
+	n.collectedStab = nil
+	if n.ELEndpoint >= 0 {
+		n.detRespsWanted = 1
+		n.SendPacket(n.ELEndpoint, 32, &vproto.Packet{
+			Kind: vproto.PktEventQuery, Creator: n.rank,
+		})
+	} else {
+		n.detRespsWanted = n.np - 1
+		for r := 0; r < n.np; r++ {
+			if event.Rank(r) == n.rank {
+				continue
+			}
+			n.SendPacket(r, 32, &vproto.Packet{
+				Kind: vproto.PktDetRequest, Creator: n.rank,
+				WantDets: true, SeqFloor: n.seqTrack[r].consumedFloor(),
+			})
+		}
+	}
+	for n.detRespsWanted > 0 {
+		n.WaitPacket()
+	}
+	n.stats.RecoveryEventCollection += n.Now() - collectStart
+
+	// 3. With an Event Logger the determinants came from it; payload
+	// replay still comes from the senders' logs.
+	if n.ELEndpoint >= 0 {
+		for r := 0; r < n.np; r++ {
+			if event.Rank(r) == n.rank {
+				continue
+			}
+			n.SendPacket(r, 32, &vproto.Packet{
+				Kind: vproto.PktDetRequest, Creator: n.rank,
+				WantDets: false, SeqFloor: n.seqTrack[r].consumedFloor(),
+			})
+		}
+	}
+
+	// 4. Deduplicate, order and install the replay set; feed everything to
+	// the protocol so future piggybacks stay complete. Responses from
+	// different peers overlap and interleave, and the reducers require
+	// per-creator ascending clock order, so sort and deduplicate first.
+	seen := make(map[event.EventID]bool, len(n.collectedDets))
+	dedup := n.collectedDets[:0]
+	for _, d := range n.collectedDets {
+		if !seen[d.ID] {
+			seen[d.ID] = true
+			dedup = append(dedup, d)
+		}
+	}
+	n.collectedDets = dedup
+	sort.Slice(n.collectedDets, func(i, j int) bool {
+		a, b := n.collectedDets[i].ID, n.collectedDets[j].ID
+		if a.Creator != b.Creator {
+			return a.Creator < b.Creator
+		}
+		return a.Clock < b.Clock
+	})
+	byClock := make(map[uint64]event.Determinant)
+	for _, d := range n.collectedDets {
+		if d.ID.Creator == n.rank && d.ID.Clock > im.Clock {
+			byClock[d.ID.Clock] = d
+		}
+	}
+	n.replayDets = n.replayDets[:0]
+	for _, d := range byClock {
+		n.replayDets = append(n.replayDets, d)
+	}
+	sort.Slice(n.replayDets, func(i, j int) bool {
+		return n.replayDets[i].ID.Clock < n.replayDets[j].ID.Clock
+	})
+	// The replay set must be gapless: a missing clock would mean a lost
+	// determinant, which the protocol invariants forbid.
+	for i, d := range n.replayDets {
+		if want := im.Clock + uint64(i) + 1; d.ID.Clock != want {
+			panic(fmt.Sprintf("daemon: rank %d recovery hole: expected clock %d, have %v", n.rank, want, d.ID))
+		}
+	}
+	n.Proto.Integrate(n, n.collectedDets, n.collectedStab)
+	n.collectedDets = nil
+	n.replayIdx = 0
+	if !n.Replaying() && n.recoveryStart > 0 {
+		n.stats.RecoveryTotal += n.Now() - n.recoveryStart
+		n.recoveryStart = 0
+	}
+}
+
+// flushHeldApp re-runs acceptance for application packets that arrived
+// while the checkpoint image was being fetched, now that the
+// duplicate-suppression floors are authoritative.
+func (n *Node) flushHeldApp() {
+	held := n.heldApp
+	n.heldApp = nil
+	n.recovering = false
+	for _, m := range held {
+		if n.seqTrack[m.Src].accept(m.SendSeq) {
+			n.recvQ = append(n.recvQ, m)
+		}
+	}
+}
+
+func (n *Node) restoreImage(im *vproto.CheckpointImage) {
+	n.skipUntil = im.Step
+	n.clock = im.Clock
+	n.sendSeq = make([]uint64, n.np)
+	copy(n.sendSeq, im.SendSeqs)
+	n.lamport = im.Lamport
+	if !n.lastEventFromImage(im) {
+		n.lastEvent = event.EventID{}
+	}
+	for i := range n.seqTrack {
+		n.seqTrack[i].reset(im.LastSeqSeen[i])
+	}
+	n.Log.Restore(im.LoggedPayloads)
+	n.Proto.Restore(n, im)
+	// Re-inject the image's channel state: daemon-buffered messages (inside
+	// the floors) and Chandy-Lamport recorded in-transit messages (above
+	// them). Both are authoritative — append unconditionally, only marking
+	// the trackers so later stale copies are recognized as duplicates.
+	for i := range im.ChannelMsgs {
+		m := im.ChannelMsgs[i]
+		n.seqTrack[m.Src].accept(m.SendSeq)
+		n.recvQ = append(n.recvQ, &m)
+	}
+}
+
+func (n *Node) lastEventFromImage(im *vproto.CheckpointImage) bool {
+	if im.Clock == 0 {
+		return false
+	}
+	n.lastEvent = event.EventID{Creator: n.rank, Clock: im.Clock}
+	return true
+}
+
+// PrepareRollback resets the node to its latest consistent-wave checkpoint
+// (coordinated checkpointing: every process rolls back on any failure).
+// crashed marks the node whose failure triggered the rollback.
+func (n *Node) PrepareRollback(crashed bool) {
+	if crashed {
+		n.stats.Recoveries++
+		n.recoveryStart = n.Now()
+	}
+	n.ep.Inbox.Drain()
+	n.recvQ = nil
+	n.replayDets = nil
+	n.replayIdx = 0
+	n.step = 0
+	n.skipUntil = 0
+	n.clock, n.lamport = 0, 0
+	n.sendSeq = make([]uint64, n.np)
+	n.lastEvent = event.EventID{}
+	n.ckptRequested = false
+	n.Recording = nil
+	n.RecordedMsgs = nil
+	for i := range n.seqTrack {
+		n.seqTrack[i].reset(0)
+	}
+	n.Log = NewSenderLog()
+
+	n.recovering = true
+	n.imageArrived = false
+	n.SendPacket(n.CkptEndpoint, 32, &vproto.Packet{
+		Kind: vproto.PktCkptFetch, Rank: n.rank, Epoch: -2, // latest complete wave
+	})
+	for !n.imageArrived {
+		n.WaitPacket()
+	}
+	im := n.pendingImage
+	n.pendingImage = nil
+	if im != nil {
+		n.restoreImage(im)
+	} else {
+		n.Proto.Restore(n, &vproto.CheckpointImage{Rank: n.rank, LastSeqSeen: make([]uint64, n.np)})
+	}
+	n.flushHeldApp()
+	if crashed && n.recoveryStart > 0 {
+		n.stats.RecoveryTotal += n.Now() - n.recoveryStart
+		n.recoveryStart = 0
+	}
+}

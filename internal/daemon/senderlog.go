@@ -1,0 +1,77 @@
+package daemon
+
+import (
+	"mpichv/internal/event"
+	"mpichv/internal/vproto"
+)
+
+// SenderLog is the sender-based payload store every message-logging
+// protocol relies on (§III of the paper): each sent message's payload stays
+// in the sender's volatile memory until the receiver's next checkpoint
+// covers it, so a crashed receiver can ask for it to be re-sent.
+type SenderLog struct {
+	// perDst[d] holds the logged messages sent to rank d, in send order.
+	perDst map[event.Rank][]vproto.LoggedPayload
+	bytes  int64
+}
+
+// NewSenderLog returns an empty log.
+func NewSenderLog() *SenderLog {
+	return &SenderLog{perDst: make(map[event.Rank][]vproto.LoggedPayload)}
+}
+
+// Append stores a copy of m's payload metadata.
+func (l *SenderLog) Append(m vproto.Message) {
+	m.Piggyback = nil // piggyback is regenerated at replay time
+	m.PiggybackBytes = 0
+	l.perDst[m.Dst] = append(l.perDst[m.Dst], vproto.LoggedPayload{Msg: m})
+	l.bytes += int64(m.Bytes)
+}
+
+// Bytes reports the volatile memory the log occupies.
+func (l *SenderLog) Bytes() int64 { return l.bytes }
+
+// TrimTo discards payloads sent to dst with sequence ≤ seqFloor: the
+// receiver checkpointed past them (PktCkptGC).
+func (l *SenderLog) TrimTo(dst event.Rank, seqFloor uint64) {
+	entries := l.perDst[dst]
+	cut := 0
+	for cut < len(entries) && entries[cut].Msg.SendSeq <= seqFloor {
+		l.bytes -= int64(entries[cut].Msg.Bytes)
+		cut++
+	}
+	if cut > 0 {
+		l.perDst[dst] = append([]vproto.LoggedPayload(nil), entries[cut:]...)
+	}
+}
+
+// For returns the logged payloads sent to dst with sequence > seqFloor, in
+// send order — the replay set for dst's recovery.
+func (l *SenderLog) For(dst event.Rank, seqFloor uint64) []vproto.LoggedPayload {
+	var out []vproto.LoggedPayload
+	for _, e := range l.perDst[dst] {
+		if e.Msg.SendSeq > seqFloor {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Snapshot returns all entries (checkpoint image content).
+func (l *SenderLog) Snapshot() []vproto.LoggedPayload {
+	var out []vproto.LoggedPayload
+	for _, entries := range l.perDst {
+		out = append(out, entries...)
+	}
+	return out
+}
+
+// Restore replaces the log content from a checkpoint image.
+func (l *SenderLog) Restore(entries []vproto.LoggedPayload) {
+	l.perDst = make(map[event.Rank][]vproto.LoggedPayload)
+	l.bytes = 0
+	for _, e := range entries {
+		l.perDst[e.Msg.Dst] = append(l.perDst[e.Msg.Dst], e)
+		l.bytes += int64(e.Msg.Bytes)
+	}
+}

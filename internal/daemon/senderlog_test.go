@@ -1,0 +1,80 @@
+package daemon
+
+import (
+	"testing"
+
+	"mpichv/internal/event"
+	"mpichv/internal/vproto"
+)
+
+func mkMsg(dst event.Rank, seq uint64, bytes int) vproto.Message {
+	return vproto.Message{
+		Src: 0, Dst: dst, Bytes: bytes, SendSeq: seq,
+		Piggyback: []event.Determinant{{ID: event.EventID{Creator: 0, Clock: 1}}},
+	}
+}
+
+func TestSenderLogAppendStripsPiggyback(t *testing.T) {
+	l := NewSenderLog()
+	l.Append(mkMsg(1, 1, 100))
+	got := l.For(1, 0)
+	if len(got) != 1 {
+		t.Fatalf("For = %d entries, want 1", len(got))
+	}
+	if got[0].Msg.Piggyback != nil || got[0].Msg.PiggybackBytes != 0 {
+		t.Error("logged payload must not retain the original piggyback")
+	}
+	if l.Bytes() != 100 {
+		t.Errorf("Bytes = %d, want 100", l.Bytes())
+	}
+}
+
+func TestSenderLogTrimTo(t *testing.T) {
+	l := NewSenderLog()
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.Append(mkMsg(2, seq, 10))
+	}
+	l.TrimTo(2, 3)
+	if l.Bytes() != 20 {
+		t.Errorf("Bytes = %d after trim, want 20", l.Bytes())
+	}
+	got := l.For(2, 0)
+	if len(got) != 2 || got[0].Msg.SendSeq != 4 || got[1].Msg.SendSeq != 5 {
+		t.Errorf("For after trim = %+v", got)
+	}
+	// Trimming one destination must not touch another.
+	l.Append(mkMsg(3, 1, 10))
+	l.TrimTo(2, 5)
+	if len(l.For(3, 0)) != 1 {
+		t.Error("trim leaked across destinations")
+	}
+}
+
+func TestSenderLogForFloor(t *testing.T) {
+	l := NewSenderLog()
+	for seq := uint64(1); seq <= 4; seq++ {
+		l.Append(mkMsg(1, seq, 8))
+	}
+	got := l.For(1, 2)
+	if len(got) != 2 || got[0].Msg.SendSeq != 3 {
+		t.Errorf("For(1,2) = %+v", got)
+	}
+}
+
+func TestSenderLogSnapshotRestore(t *testing.T) {
+	l := NewSenderLog()
+	l.Append(mkMsg(1, 1, 10))
+	l.Append(mkMsg(2, 1, 20))
+	snap := l.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot = %d entries", len(snap))
+	}
+	restored := NewSenderLog()
+	restored.Restore(snap)
+	if restored.Bytes() != 30 {
+		t.Errorf("restored Bytes = %d, want 30", restored.Bytes())
+	}
+	if len(restored.For(1, 0)) != 1 || len(restored.For(2, 0)) != 1 {
+		t.Error("restored log lost entries")
+	}
+}

@@ -1,0 +1,40 @@
+package daemon
+
+// seqTracker performs duplicate suppression on per-sender send sequence
+// numbers. Sequences normally arrive in order (the network is FIFO per
+// pair), but recovery replays and rollback re-executions can interleave a
+// fresh copy with a replayed one, so the tracker keeps a contiguous floor
+// plus a sparse set of out-of-order arrivals above it.
+type seqTracker struct {
+	floor uint64
+	above map[uint64]bool
+}
+
+// accept reports whether seq is new, recording it if so.
+func (t *seqTracker) accept(seq uint64) bool {
+	if seq <= t.floor || t.above[seq] {
+		return false
+	}
+	if seq == t.floor+1 {
+		t.floor++
+		for t.above[t.floor+1] {
+			t.floor++
+			delete(t.above, t.floor)
+		}
+		return true
+	}
+	if t.above == nil {
+		t.above = make(map[uint64]bool)
+	}
+	t.above[seq] = true
+	return true
+}
+
+// reset rewinds the tracker to a checkpointed floor (rollback).
+func (t *seqTracker) reset(floor uint64) {
+	t.floor = floor
+	t.above = nil
+}
+
+// consumedFloor returns the contiguous consumed prefix.
+func (t *seqTracker) consumedFloor() uint64 { return t.floor }

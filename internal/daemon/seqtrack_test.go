@@ -1,0 +1,102 @@
+package daemon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqTrackerInOrder(t *testing.T) {
+	var tr seqTracker
+	for seq := uint64(1); seq <= 100; seq++ {
+		if !tr.accept(seq) {
+			t.Fatalf("in-order seq %d rejected", seq)
+		}
+	}
+	if tr.consumedFloor() != 100 {
+		t.Fatalf("floor = %d, want 100", tr.consumedFloor())
+	}
+	if tr.accept(50) || tr.accept(100) {
+		t.Fatal("duplicate below floor accepted")
+	}
+}
+
+func TestSeqTrackerOutOfOrder(t *testing.T) {
+	var tr seqTracker
+	if !tr.accept(3) {
+		t.Fatal("out-of-order 3 rejected")
+	}
+	if tr.consumedFloor() != 0 {
+		t.Fatalf("floor advanced past a gap: %d", tr.consumedFloor())
+	}
+	if tr.accept(3) {
+		t.Fatal("duplicate above floor accepted")
+	}
+	if !tr.accept(1) {
+		t.Fatal("1 rejected")
+	}
+	if tr.consumedFloor() != 1 {
+		t.Fatalf("floor = %d, want 1", tr.consumedFloor())
+	}
+	if !tr.accept(2) {
+		t.Fatal("2 rejected")
+	}
+	// 2 fills the gap; 3 was already recorded above the floor, so the floor
+	// must jump to 3.
+	if tr.consumedFloor() != 3 {
+		t.Fatalf("floor = %d, want 3 after gap fill", tr.consumedFloor())
+	}
+}
+
+func TestSeqTrackerReset(t *testing.T) {
+	var tr seqTracker
+	tr.accept(1)
+	tr.accept(2)
+	tr.accept(7)
+	tr.reset(5)
+	if tr.consumedFloor() != 5 {
+		t.Fatalf("floor = %d after reset(5)", tr.consumedFloor())
+	}
+	if tr.accept(4) {
+		t.Fatal("seq below reset floor accepted")
+	}
+	if !tr.accept(7) {
+		t.Fatal("reset must clear the out-of-order set")
+	}
+}
+
+// TestSeqTrackerQuickExactlyOnce feeds a random permutation with random
+// duplications and checks each sequence number is accepted exactly once.
+func TestSeqTrackerQuickExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200) + 1
+		perm := r.Perm(n)
+		var feed []uint64
+		for _, p := range perm {
+			feed = append(feed, uint64(p+1))
+			if r.Intn(3) == 0 { // duplicate some
+				feed = append(feed, uint64(r.Intn(n)+1))
+			}
+		}
+		var tr seqTracker
+		accepted := make(map[uint64]int)
+		for _, s := range feed {
+			if tr.accept(s) {
+				accepted[s]++
+			}
+		}
+		if len(accepted) != n {
+			return false
+		}
+		for s, c := range accepted {
+			if c != 1 || s < 1 || s > uint64(n) {
+				return false
+			}
+		}
+		return tr.consumedFloor() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package event
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []Determinant {
+	return []Determinant{
+		{ID: EventID{2, 1}, Sender: 0, SendSeq: 1, Parent: EventID{}},
+		{ID: EventID{2, 2}, Sender: 1, SendSeq: 3, Parent: EventID{1, 7}},
+		{ID: EventID{3, 9}, Sender: 2, SendSeq: 2, Parent: EventID{2, 2}},
+	}
+}
+
+func TestFactoredSizeGrouping(t *testing.T) {
+	ds := sample()
+	// Two groups: creator 2 (2 events), creator 3 (1 event).
+	want := 2*FactoredGroupHeader + 3*FactoredEventSize
+	if got := FactoredSize(ds); got != want {
+		t.Fatalf("FactoredSize = %d, want %d", got, want)
+	}
+	if got := FactoredSize(nil); got != 0 {
+		t.Fatalf("FactoredSize(nil) = %d, want 0", got)
+	}
+}
+
+func TestFlatSize(t *testing.T) {
+	if got := FlatSize(sample()); got != 3*FlatEventSize {
+		t.Fatalf("FlatSize = %d, want %d", got, 3*FlatEventSize)
+	}
+}
+
+func TestFlatLargerPerEvent(t *testing.T) {
+	// The paper's point in §III-C: for the same events, LogOn's encoding is
+	// strictly larger whenever factoring can group anything.
+	ds := sample()
+	if FlatSize(ds) <= FactoredSize(ds) {
+		t.Fatalf("flat (%d) should exceed factored (%d) for groupable events",
+			FlatSize(ds), FactoredSize(ds))
+	}
+}
+
+func TestEncodeFactoredRoundTrip(t *testing.T) {
+	ds := sample()
+	buf := EncodeFactored(ds)
+	if len(buf) != FactoredSize(ds) {
+		t.Fatalf("encoded length %d != FactoredSize %d", len(buf), FactoredSize(ds))
+	}
+	got, err := DecodeFactored(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ds) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, ds)
+	}
+}
+
+func TestEncodeFlatRoundTrip(t *testing.T) {
+	ds := sample()
+	buf := EncodeFlat(ds)
+	if len(buf) != FlatSize(ds) {
+		t.Fatalf("encoded length %d != FlatSize %d", len(buf), FlatSize(ds))
+	}
+	got, err := DecodeFlat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ds) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, ds)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeFactored([]byte{1, 2}); err == nil {
+		t.Error("truncated group header accepted")
+	}
+	hdr := EncodeFactored(sample())[:FactoredGroupHeader+3]
+	if _, err := DecodeFactored(hdr); err == nil {
+		t.Error("truncated group body accepted")
+	}
+	if _, err := DecodeFlat(make([]byte, FlatEventSize+1)); err == nil {
+		t.Error("misaligned flat buffer accepted")
+	}
+}
+
+// genDeterminants builds a grouped-by-creator determinant list the way the
+// reducers emit them.
+func genDeterminants(r *rand.Rand) []Determinant {
+	n := r.Intn(40)
+	var out []Determinant
+	clock := uint64(1)
+	creator := Rank(r.Intn(4))
+	for i := 0; i < n; i++ {
+		if r.Intn(5) == 0 {
+			creator = Rank(r.Intn(16))
+			clock = uint64(r.Intn(100) + 1)
+		}
+		d := Determinant{
+			ID:      EventID{creator, clock},
+			Sender:  Rank(r.Intn(16)),
+			SendSeq: uint64(r.Intn(1 << 20)),
+			Lamport: uint64(r.Intn(1 << 24)),
+		}
+		if r.Intn(3) != 0 {
+			d.Parent = EventID{Rank(r.Intn(16)), uint64(r.Intn(1 << 20))}
+		}
+		out = append(out, d)
+		clock++
+	}
+	return out
+}
+
+func TestQuickRoundTripBothEncodings(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		ds := genDeterminants(r)
+		fac, err := DecodeFactored(EncodeFactored(ds))
+		if err != nil {
+			t.Fatalf("factored decode: %v", err)
+		}
+		flat, err := DecodeFlat(EncodeFlat(ds))
+		if err != nil {
+			t.Fatalf("flat decode: %v", err)
+		}
+		if len(ds) == 0 {
+			if len(fac) != 0 || len(flat) != 0 {
+				t.Fatal("empty input decoded non-empty")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(fac, ds) || !reflect.DeepEqual(flat, ds) {
+			t.Fatalf("round trip mismatch at iteration %d", i)
+		}
+	}
+}
+
+func TestQuickSizeMatchesEncoding(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := genDeterminants(r)
+		return len(EncodeFactored(ds)) == FactoredSize(ds) &&
+			len(EncodeFlat(ds)) == FlatSize(ds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventIDString(t *testing.T) {
+	if got := (EventID{}).String(); got != "e(-)" {
+		t.Errorf("zero EventID = %q", got)
+	}
+	if got := (EventID{3, 17}).String(); got != "e(3,17)" {
+		t.Errorf("EventID{3,17} = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+package eventlogger
+
+import (
+	"testing"
+
+	"mpichv/internal/event"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/vproto"
+)
+
+func TestGroupAssignment(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 8)
+	g := NewGroup(k, net, 4, 4, GroupConfig{Servers: 2, Sync: SyncExchange,
+		SyncInterval: sim.Millisecond, Service: DefaultConfig()})
+	if got := g.EndpointFor(0); got != 4 {
+		t.Errorf("rank 0 -> endpoint %d, want 4", got)
+	}
+	if got := g.EndpointFor(1); got != 5 {
+		t.Errorf("rank 1 -> endpoint %d, want 5", got)
+	}
+	if got := g.EndpointFor(2); got != 4 {
+		t.Errorf("rank 2 -> endpoint %d, want 4", got)
+	}
+	if len(g.Servers()) != 2 {
+		t.Fatalf("%d servers", len(g.Servers()))
+	}
+}
+
+func TestExchangeSyncPropagatesStability(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 6)
+	g := NewGroup(k, net, 4, 4, GroupConfig{Servers: 2, Sync: SyncExchange,
+		SyncInterval: sim.Millisecond, Service: DefaultConfig()})
+	net.Endpoint(0).SetHandler(func(netmodel.Delivery) {})
+
+	// Rank 0 (served by logger 0) logs three events.
+	k.At(0, func() {
+		for clk := uint64(1); clk <= 3; clk++ {
+			net.Endpoint(0).Send(4, 44, &vproto.Packet{
+				Kind: vproto.PktEventLog, From: 0,
+				Determinants: []event.Determinant{
+					{ID: event.EventID{Creator: 0, Clock: clk}, Sender: 1, SendSeq: clk},
+				},
+			})
+		}
+	})
+	k.RunUntil(10 * sim.Millisecond)
+
+	// After a few sync rounds, logger 1 must know rank 0's stability even
+	// though it never stored those events.
+	if got := g.Servers()[1].Stable()[0]; got != 3 {
+		t.Fatalf("peer logger stable[0] = %d, want 3 after exchange sync", got)
+	}
+	// But it must not hold the events themselves (they are sharded).
+	if g.Servers()[1].StoredFor(0) != 0 {
+		t.Error("peer logger stored events outside its shard")
+	}
+	if g.EventsStored() != 3 {
+		t.Errorf("group stored %d events, want 3", g.EventsStored())
+	}
+}
+
+func TestBroadcastSyncReachesNodes(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 6)
+	NewGroup(k, net, 4, 4, GroupConfig{Servers: 2, Sync: SyncBroadcast,
+		SyncInterval: sim.Millisecond, Service: DefaultConfig()})
+	acksAt0 := 0
+	net.Endpoint(0).SetHandler(func(d netmodel.Delivery) {
+		if d.Payload.(*vproto.Packet).Kind == vproto.PktEventAck {
+			acksAt0++
+		}
+	})
+	k.RunUntil(5 * sim.Millisecond)
+	if acksAt0 < 4 { // 2 loggers x >=2 rounds
+		t.Fatalf("node received %d stability broadcasts, want several", acksAt0)
+	}
+}
+
+func TestGroupSingleServerBehavesClassically(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 4)
+	g := NewGroup(k, net, 2, 2, GroupConfig{Servers: 1, Service: DefaultConfig()})
+	for r := event.Rank(0); r < 2; r++ {
+		if g.EndpointFor(r) != 2 {
+			t.Errorf("rank %d -> endpoint %d, want 2", r, g.EndpointFor(r))
+		}
+	}
+	if g.MaxQueueLen() != 0 {
+		t.Error("fresh group reports backlog")
+	}
+}
+
+func TestGroupRejectsZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 2)
+	NewGroup(k, net, 0, 2, GroupConfig{Servers: 0})
+}

@@ -1,0 +1,160 @@
+package eventlogger
+
+import (
+	"testing"
+
+	"mpichv/internal/event"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/vproto"
+)
+
+func setup(t *testing.T) (*sim.Kernel, *netmodel.Network, *Server) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 4)
+	s := New(k, net, 3, 3, DefaultConfig())
+	return k, net, s
+}
+
+func logPacket(from int, ds ...event.Determinant) *vproto.Packet {
+	return &vproto.Packet{Kind: vproto.PktEventLog, From: from, Determinants: ds}
+}
+
+func det(creator event.Rank, clock uint64) event.Determinant {
+	return event.Determinant{ID: event.EventID{Creator: creator, Clock: clock}, Sender: 0, SendSeq: clock}
+}
+
+func TestStoreAndAck(t *testing.T) {
+	k, net, s := setup(t)
+	var acks []*vproto.Packet
+	net.Endpoint(0).SetHandler(func(d netmodel.Delivery) {
+		acks = append(acks, d.Payload.(*vproto.Packet))
+	})
+	k.At(0, func() {
+		net.Endpoint(0).Send(3, 40, logPacket(0, det(0, 1)))
+		net.Endpoint(0).Send(3, 40, logPacket(0, det(0, 2)))
+	})
+	k.Run()
+	if len(acks) != 2 {
+		t.Fatalf("%d acks, want 2", len(acks))
+	}
+	last := acks[1]
+	if last.Kind != vproto.PktEventAck {
+		t.Fatalf("ack kind = %v", last.Kind)
+	}
+	if last.StableVec[0] != 2 || last.StableVec[1] != 0 {
+		t.Fatalf("stable vector = %v", last.StableVec)
+	}
+	if s.EventsStored != 2 {
+		t.Fatalf("EventsStored = %d", s.EventsStored)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	k, net, s := setup(t)
+	net.Endpoint(0).SetHandler(func(netmodel.Delivery) {})
+	k.At(0, func() {
+		net.Endpoint(0).Send(3, 40, logPacket(0, det(1, 1)))
+		net.Endpoint(0).Send(3, 40, logPacket(0, det(1, 1)))
+	})
+	k.Run()
+	if s.EventsStored != 1 {
+		t.Fatalf("EventsStored = %d, want 1 (duplicate dropped)", s.EventsStored)
+	}
+	if s.StoredFor(1) != 1 {
+		t.Fatalf("StoredFor(1) = %d", s.StoredFor(1))
+	}
+}
+
+func TestGapPanics(t *testing.T) {
+	k, net, _ := setup(t)
+	net.Endpoint(0).SetHandler(func(netmodel.Delivery) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gap in event stream did not panic")
+		}
+	}()
+	k.At(0, func() {
+		net.Endpoint(0).Send(3, 40, logPacket(0, det(0, 2))) // clock 1 missing
+	})
+	k.Run()
+}
+
+func TestQueryReturnsHistoryAndStableVector(t *testing.T) {
+	k, net, s := setup(t)
+	var resp *vproto.Packet
+	net.Endpoint(1).SetHandler(func(d netmodel.Delivery) {
+		pkt := d.Payload.(*vproto.Packet)
+		if pkt.Kind == vproto.PktEventQueryResp {
+			resp = pkt
+		}
+	})
+	net.Endpoint(0).SetHandler(func(netmodel.Delivery) {})
+	k.At(0, func() {
+		net.Endpoint(0).Send(3, 40, logPacket(0, det(2, 1), det(2, 2), det(2, 3)))
+	})
+	k.At(sim.Millisecond, func() {
+		net.Endpoint(1).Send(3, 32, &vproto.Packet{Kind: vproto.PktEventQuery, From: 1, Creator: 2})
+	})
+	k.Run()
+	if resp == nil {
+		t.Fatal("no query response")
+	}
+	if len(resp.Determinants) != 3 {
+		t.Fatalf("query returned %d determinants, want 3", len(resp.Determinants))
+	}
+	if resp.StableVec[2] != 3 {
+		t.Fatalf("stable vector = %v", resp.StableVec)
+	}
+	if s.QueriesServed != 1 {
+		t.Fatalf("QueriesServed = %d", s.QueriesServed)
+	}
+}
+
+func TestServiceTimeSerializesRequests(t *testing.T) {
+	// A burst of log packets must be served one at a time: the gap between
+	// consecutive acks is at least the per-packet service time (this is the
+	// saturation mechanism of the paper's LU.16 observation).
+	k, net, _ := setup(t)
+	cfg := DefaultConfig()
+	var ackTimes []sim.Time
+	net.Endpoint(0).SetHandler(func(netmodel.Delivery) {
+		ackTimes = append(ackTimes, k.Now())
+	})
+	k.At(0, func() {
+		for i := 1; i <= 10; i++ {
+			net.Endpoint(0).Send(3, 40, logPacket(0, det(0, uint64(i))))
+		}
+	})
+	k.Run()
+	if len(ackTimes) != 10 {
+		t.Fatalf("%d acks", len(ackTimes))
+	}
+	minGap := cfg.PerPacket + cfg.PerEvent
+	for i := 1; i < len(ackTimes); i++ {
+		if gap := ackTimes[i] - ackTimes[i-1]; gap < minGap {
+			t.Fatalf("ack gap %v < service time %v", gap, minGap)
+		}
+	}
+}
+
+func TestMaxQueueTracksBacklog(t *testing.T) {
+	// Three nodes logging concurrently outpace the single service loop:
+	// the backlog must become visible (the paper's LU.16 saturation).
+	k, net, s := setup(t)
+	for i := 0; i < 3; i++ {
+		net.Endpoint(i).SetHandler(func(netmodel.Delivery) {})
+	}
+	k.At(0, func() {
+		for i := 1; i <= 30; i++ {
+			for src := 0; src < 3; src++ {
+				net.Endpoint(src).Send(3, 40, logPacket(src, det(event.Rank(src), uint64(i))))
+			}
+		}
+	})
+	k.Run()
+	if s.MaxQueueLen < 5 {
+		t.Fatalf("MaxQueueLen = %d, expected a visible backlog", s.MaxQueueLen)
+	}
+}

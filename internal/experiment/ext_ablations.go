@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/eventlogger"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/workload"
+)
+
+// ExtELServiceSweep is an ablation over the Event Logger's service
+// capacity: it locates the saturation onset the paper observes on LU.16 by
+// sweeping the per-request service time. Below the knee, acknowledgments
+// beat the application's send gaps and piggybacks vanish; above it, the
+// backlog grows and residual piggyback reappears.
+func ExtELServiceSweep() *Table {
+	t := &Table{
+		Title:  "Ablation: Event Logger service time vs piggyback elimination (LU.A.16, Vcausal)",
+		Header: []string{"per-request service (µs)", "piggyback %", "max EL backlog", "Mflop/s"},
+		Notes: []string{
+			"expected shape: elimination is near-total while service time is below the",
+			"inter-arrival gap; past the knee, residual piggyback and backlog climb together",
+		},
+	}
+	spec := workload.Spec{Bench: "lu", Class: "A", NP: 16}
+	for _, perPacket := range []sim.Time{5, 15, 30, 60, 120, 240} {
+		in := workload.Build(spec)
+		cfg := cluster.Config{
+			NP: spec.NP, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
+			EL: eventlogger.Config{
+				PerPacket:        perPacket * sim.Microsecond,
+				PerEvent:         8 * sim.Microsecond,
+				AckOverheadBytes: 16,
+			},
+			AppStateBytes: in.AppStateBytes,
+		}
+		c := cluster.New(cfg)
+		elapsed := c.Run(in.Programs, 100*sim.Minute)
+		st := c.AggregateStats()
+		t.AddRow(
+			fmt.Sprintf("%d", int64(perPacket)),
+			pct(st.PiggybackShare()),
+			fmt.Sprintf("%d", c.ELGroup.MaxQueueLen()),
+			f1(in.Mflops(elapsed)),
+		)
+	}
+	return t
+}
+
+// ExtSchedulerPolicies is an ablation over the checkpoint scheduler
+// policies of §IV-B.3: the paper argues uncoordinated scheduling should
+// maximize sender-based log garbage collection. The probe is the sender-log
+// memory high-water mark under identical checkpoint budgets.
+func ExtSchedulerPolicies() *Table {
+	t := &Table{
+		Title:  "Ablation: checkpoint scheduler policy vs sender-log occupation (BT.A.9, Manetho+EL)",
+		Header: []string{"policy", "checkpoints", "max sender log (KB)", "Mflop/s"},
+		Notes: []string{
+			"expected shape: spreading checkpoints (round-robin) garbage collects sender logs",
+			"continuously; no checkpoints at all lets payload logs grow to the full run volume",
+		},
+	}
+	spec := workload.Spec{Bench: "bt", Class: "A", NP: 9}
+	for _, pol := range []checkpoint.Policy{checkpoint.PolicyNone, checkpoint.PolicyRoundRobin, checkpoint.PolicyRandom} {
+		in := workload.Build(spec)
+		in.AppStateBytes = 1 << 20 // keep store cost small so the policy is the variable
+		cfg := cluster.Config{
+			NP: spec.NP, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true,
+			CkptPolicy: pol, CkptInterval: 300 * sim.Millisecond,
+			AppStateBytes: in.AppStateBytes,
+		}
+		c := cluster.New(cfg)
+		elapsed := c.Run(in.Programs, 100*sim.Minute)
+		st := c.AggregateStats()
+		t.AddRow(
+			string(pol),
+			fmt.Sprintf("%d", st.Checkpoints),
+			fmt.Sprintf("%d", st.MaxSenderLogBytes/1024),
+			f1(in.Mflops(elapsed)),
+		)
+	}
+	return t
+}
+
+// ExtDuplexAblation isolates the full-duplex advantage the paper credits
+// for Vdummy beating MPICH-P4 on some NAS kernels: the same Vdaemon stack
+// is run over full- and half-duplex links.
+func ExtDuplexAblation() *Table {
+	t := &Table{
+		Title:  "Ablation: link duplex mode under the Vdaemon stack (Mflop/s)",
+		Header: []string{"Benchmark", "#proc", "full duplex", "half duplex", "gain"},
+		Notes: []string{
+			"expected shape: communication-dominated kernels (FT's all-to-all) gain the",
+			"most from full duplex; compute-dominated BT gains the least",
+		},
+	}
+	specs := []workload.Spec{
+		{Bench: "bt", Class: "A", NP: 9},
+		{Bench: "ft", Class: "A", NP: 8},
+		{Bench: "cg", Class: "A", NP: 8},
+	}
+	for _, spec := range specs {
+		var mflops [2]float64
+		for i, duplex := range []bool{true, false} {
+			in := workload.Build(spec)
+			net := netmodel.FastEthernet()
+			net.FullDuplex = duplex
+			cfg := cluster.Config{
+				NP: spec.NP, Stack: cluster.StackVdummy, Net: net,
+				AppStateBytes: in.AppStateBytes,
+			}
+			c := cluster.New(cfg)
+			elapsed := c.Run(in.Programs, 100*sim.Minute)
+			mflops[i] = in.Mflops(elapsed)
+		}
+		t.AddRow(
+			spec.Bench+"."+spec.Class,
+			fmt.Sprintf("%d", spec.NP),
+			f1(mflops[0]), f1(mflops[1]),
+			fmt.Sprintf("%+.1f%%", 100*(mflops[0]/mflops[1]-1)),
+		)
+	}
+	return t
+}

@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"testing"
+
+	"mpichv/internal/sim"
+)
+
+func TestFig01CausalPointNotPathological(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is slow")
+	}
+	sc := fig01Stacks[2] // causal
+	base := fig01Run(sc, 25, 0, 0)
+	if base <= 0 {
+		t.Fatal("baseline failed")
+	}
+	for _, interval := range []sim.Time{20 * sim.Second, 12 * sim.Second, 8 * sim.Second} {
+		elapsed := fig01Run(sc, 25, interval, base*divergenceFactor)
+		if elapsed < 0 {
+			t.Fatalf("causal diverged at interval %v", interval)
+		}
+		slow := float64(elapsed) / float64(base)
+		if slow > 3.0 {
+			t.Errorf("causal slowdown at interval %v = %.1fx (pathological)", interval, slow)
+		}
+	}
+}

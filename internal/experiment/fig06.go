@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/workload"
+)
+
+// latencyStacks is Figure 6(a)'s protocol axis: the reference MPI, the raw
+// framework, and the three causal protocols with and without Event Logger.
+var latencyStacks = append([]stackConfig{
+	{"P4", cluster.StackP4, "", false},
+	{"Vdummy", cluster.StackVdummy, "", false},
+}, causalStacks...)
+
+// Fig06aLatency reproduces Figure 6(a): one-way small-message latency of
+// every stack, measured by a 1-byte NetPIPE ping-pong.
+func Fig06aLatency() *Table {
+	const reps = 500
+	t := &Table{
+		Title:  "Figure 6(a): Ping-pong latency over Ethernet 100Mbit/s (µs, one-way)",
+		Header: []string{"MPI implementation", "Latency (µs)"},
+		Notes: []string{
+			"expected shape: P4 < Vdummy < causal+EL (all three equal) < causal-noEL",
+			"paper: P4 99.56, Vdummy 134.84, causal+EL ~156.9, Vcausal-noEL 165.2, graph-noEL ~173",
+		},
+	}
+	for _, sc := range latencyStacks {
+		in := workload.BuildPingPong(1, reps)
+		res := run(in, sc, runOpts{})
+		oneWay := res.Elapsed.Microseconds() / (2 * reps)
+		t.AddRow(sc.Label, f2(oneWay))
+	}
+	return t
+}
+
+// BandwidthSizes is the message-size sweep of Figure 6(b).
+var BandwidthSizes = []int{1, 64, 1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20}
+
+// Fig06bBandwidth reproduces Figure 6(b): ping-pong bandwidth versus
+// message size for raw TCP, P4, Vdummy and the causal variants.
+func Fig06bBandwidth() *Table {
+	stacks := []stackConfig{
+		{"RAW TCP", cluster.StackRawTCP, "", false},
+		{"MPICH-P4", cluster.StackP4, "", false},
+		{"MPICH-Vdummy", cluster.StackVdummy, "", false},
+		{"Vcausal (EL)", cluster.StackVcausal, "vcausal", true},
+		{"Manetho (EL)", cluster.StackVcausal, "manetho", true},
+		{"Manetho (no EL)", cluster.StackVcausal, "manetho", false},
+		{"LogOn (no EL)", cluster.StackVcausal, "logon", false},
+	}
+	header := []string{"Message size"}
+	for _, sc := range stacks {
+		header = append(header, sc.Label)
+	}
+	t := &Table{
+		Title:  "Figure 6(b): Ping-pong bandwidth over Ethernet 100Mbit/s (Mbit/s)",
+		Header: header,
+		Notes: []string{
+			"expected shape: raw TCP tops out ~90+ Mbit/s; all causal variants share one curve",
+			"below Vdummy; EL vs no-EL indistinguishable at large sizes",
+		},
+	}
+	for _, size := range BandwidthSizes {
+		reps := 50
+		if size >= 1<<20 {
+			reps = 8
+		}
+		row := []string{sizeLabel(size)}
+		for _, sc := range stacks {
+			in := workload.BuildPingPong(size, reps)
+			res := run(in, sc, runOpts{})
+			bits := float64(size) * 8 * float64(2*reps)
+			mbps := bits / res.Elapsed.Seconds() / 1e6
+			row = append(row, f2(mbps))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func sizeLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpichv/internal/workload"
+)
+
+// fig07Specs lists the benchmark/process-count grid of Figure 7.
+var fig07Specs = []workload.Spec{
+	{Bench: "bt", Class: "A", NP: 4}, {Bench: "bt", Class: "A", NP: 9}, {Bench: "bt", Class: "A", NP: 16},
+	{Bench: "cg", Class: "A", NP: 2}, {Bench: "cg", Class: "A", NP: 4},
+	{Bench: "cg", Class: "A", NP: 8}, {Bench: "cg", Class: "A", NP: 16},
+	{Bench: "lu", Class: "A", NP: 2}, {Bench: "lu", Class: "A", NP: 4},
+	{Bench: "lu", Class: "A", NP: 8}, {Bench: "lu", Class: "A", NP: 16},
+}
+
+// Fig07PiggybackSize reproduces Figure 7: the total piggybacked causality
+// data exchanged during BT, CG and LU class A, as a percentage of the total
+// application data, for the three reduction techniques with and without
+// Event Logger.
+func Fig07PiggybackSize() *Table {
+	header := []string{"Benchmark", "#proc"}
+	for _, sc := range causalStacks {
+		header = append(header, sc.Label)
+	}
+	t := &Table{
+		Title:  "Figure 7: Piggybacked data as % of total exchanged application data",
+		Header: header,
+		Notes: []string{
+			"expected shape: EL columns are a small fraction of their no-EL counterparts;",
+			"Vcausal piggybacks the most without EL; LogOn's bytes exceed Manetho's for the",
+			"same events (flat encoding); LU.16 keeps a large residual even with EL (EL saturation)",
+		},
+	}
+	for _, spec := range fig07Specs {
+		row := []string{spec.Bench + "." + spec.Class, fmt.Sprintf("%d", spec.NP)}
+		for _, sc := range causalStacks {
+			in := workload.Build(spec)
+			res := run(in, sc, runOpts{})
+			row = append(row, pct(res.Stats.PiggybackShare()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpichv/internal/workload"
+)
+
+// fig09Groups lists the benchmark panels of Figure 9 with their process
+// counts.
+var fig09Groups = []struct {
+	Bench, Class string
+	NPs          []int
+}{
+	{"cg", "A", []int{2, 4, 8, 16}},
+	{"cg", "B", []int{2, 4, 8, 16}},
+	{"mg", "A", []int{2, 4, 8, 16}},
+	{"bt", "A", []int{4, 9, 16}},
+	{"bt", "B", []int{4, 9, 16}},
+	{"sp", "A", []int{4, 9, 16}},
+	{"lu", "A", []int{2, 4, 8, 16}},
+	{"ft", "A", []int{2, 4, 8, 16}},
+}
+
+// Fig09NAS reproduces Figure 9: NAS benchmark performance (Mflop/s) for
+// MPICH-P4, MPICH-Vdummy and the three causal protocols with and without
+// Event Logger.
+func Fig09NAS() *Table {
+	header := []string{"Benchmark", "#proc"}
+	for _, sc := range allStacks {
+		header = append(header, sc.Label)
+	}
+	t := &Table{
+		Title:  "Figure 9: NAS benchmark performance (Mflop/s)",
+		Header: header,
+		Notes: []string{
+			"expected shape: every protocol/benchmark improves with the EL; Vcausal+EL competes",
+			"with the graph methods except at very high communication/computation ratios (LU.16);",
+			"Vdummy can beat P4 where the pattern exploits full-duplex links",
+		},
+	}
+	for _, g := range fig09Groups {
+		for _, np := range g.NPs {
+			spec := workload.Spec{Bench: g.Bench, Class: g.Class, NP: np}
+			row := []string{g.Bench + "." + g.Class, fmt.Sprintf("%d", np)}
+			for _, sc := range allStacks {
+				in := workload.Build(spec)
+				res := run(in, sc, runOpts{})
+				row = append(row, f1(in.Mflops(res.Elapsed)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}

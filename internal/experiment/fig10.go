@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/sim"
+	"mpichv/internal/workload"
+)
+
+// fig10Groups lists Figure 10's benchmark/process grids.
+var fig10Groups = []struct {
+	Bench, Class string
+	NPs          []int
+}{
+	{"bt", "A", []int{4, 9, 16, 25}},
+	{"cg", "B", []int{2, 4, 8, 16}},
+	{"lu", "A", []int{2, 4, 8, 16}},
+}
+
+// Fig10Recovery reproduces Figure 10: the time (in milliseconds) to recover
+// all determinants to replay when restarting rank 0 from the middle of the
+// run, with the Event Logger (one query) and without it (reclaiming events
+// from every surviving node).
+func Fig10Recovery() *Table {
+	t := &Table{
+		Title:  "Figure 10: Time to recover all events to replay, Vcausal (milliseconds)",
+		Header: []string{"Benchmark", "#proc", "with EL", "without EL", "EL/noEL"},
+		Notes: []string{
+			"expected shape: with EL an order of magnitude faster and nearly flat in process",
+			"count; without EL the cost explodes as every survivor must be drained",
+			"(paper CG: +18.7% from 2→16 nodes with EL versus +930% without)",
+		},
+	}
+	for _, g := range fig10Groups {
+		for _, np := range g.NPs {
+			spec := workload.Spec{Bench: g.Bench, Class: g.Class, NP: np}
+			row := []string{g.Bench + "." + g.Class, fmt.Sprintf("%d", np)}
+			var both [2]sim.Time
+			for i, useEL := range []bool{true, false} {
+				both[i] = recoverEventTime(spec, useEL)
+				row = append(row, fmt.Sprintf("%.3f", both[i].Milliseconds()))
+			}
+			row = append(row, pct(float64(both[0])/float64(both[1])))
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// recoverEventTime runs one instance, kills rank 0 mid-run, and returns the
+// measured determinant-collection time. No checkpoints are scheduled: the
+// restarted process reclaims its complete event history, which is exactly
+// the quantity Figure 10 reports ("time to recover all events to replay").
+func recoverEventTime(spec workload.Spec, useEL bool) sim.Time {
+	sc := stackConfig{Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: useEL}
+
+	// First a fault-free run to locate the midpoint.
+	free := run(workload.Build(spec), sc, runOpts{})
+
+	res := run(workload.Build(spec), sc, runOpts{
+		CkptPolicy:   checkpoint.PolicyNone,
+		FaultAt:      free.Elapsed / 2,
+		RestartDelay: 100 * sim.Millisecond,
+	})
+	return res.Cluster.Nodes[0].Stats().RecoveryEventCollection
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/sim"
+	"mpichv/internal/trace"
+	"mpichv/internal/workload"
+)
+
+// stackConfig names one point of the protocol axis used across figures.
+type stackConfig struct {
+	Label   string
+	Stack   string
+	Reducer string
+	UseEL   bool
+}
+
+// The paper's protocol axes.
+var (
+	causalStacks = []stackConfig{
+		{"Vcausal (EL)", cluster.StackVcausal, "vcausal", true},
+		{"Manetho (EL)", cluster.StackVcausal, "manetho", true},
+		{"LogOn (EL)", cluster.StackVcausal, "logon", true},
+		{"Vcausal (no EL)", cluster.StackVcausal, "vcausal", false},
+		{"Manetho (no EL)", cluster.StackVcausal, "manetho", false},
+		{"LogOn (no EL)", cluster.StackVcausal, "logon", false},
+	}
+	allStacks = append([]stackConfig{
+		{"MPICH-P4", cluster.StackP4, "", false},
+		{"MPICH-Vdummy", cluster.StackVdummy, "", false},
+	}, causalStacks...)
+)
+
+// result is one benchmark execution's outcome.
+type result struct {
+	Elapsed sim.Time
+	Stats   trace.Stats
+	Cluster *cluster.Cluster
+}
+
+// runOpts tune a benchmark execution.
+type runOpts struct {
+	CkptPolicy   checkpoint.Policy
+	CkptInterval sim.Time
+	FaultAt      sim.Time // kill rank 0 at this time (0 = no fault)
+	FaultEvery   sim.Time // periodic faults (0 = none)
+	RestartDelay sim.Time
+	Seed         int64
+}
+
+// run executes one workload instance on one stack and returns the outcome.
+func run(in *workload.Instance, sc stackConfig, opts runOpts) result {
+	cfg := cluster.Config{
+		NP:           in.NP,
+		Stack:        sc.Stack,
+		Reducer:      sc.Reducer,
+		UseEL:        sc.UseEL,
+		CkptPolicy:   opts.CkptPolicy,
+		CkptInterval: opts.CkptInterval,
+		RestartDelay: opts.RestartDelay,
+		Seed:         opts.Seed,
+	}
+	if in.AppStateBytes > 0 {
+		cfg.AppStateBytes = in.AppStateBytes
+	}
+	c := cluster.New(cfg)
+	d := c.PrepareRun(in.Programs)
+	if opts.FaultAt > 0 {
+		d.ScheduleFault(opts.FaultAt, 0)
+	}
+	if opts.FaultEvery > 0 {
+		d.PeriodicFaults(opts.FaultEvery)
+	}
+	d.Launch()
+	end := c.RunLaunched(100 * sim.Minute * 60)
+	return result{Elapsed: end, Stats: c.AggregateStats(), Cluster: c}
+}

@@ -1,0 +1,68 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation section (§V): one function per artifact, each returning a
+// Table whose rows mirror what the paper plots. DESIGN.md §4 maps each
+// experiment to the modules it exercises and the expected shape.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry shape expectations and caveats printed under the table.
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// f1, f2 format floats with one/two decimals; pct formats a ratio as %.
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,164 @@
+// Package failure implements the MPICH-V dispatcher: it launches the MPI
+// processes, injects faults, detects them (modeled as a fixed restart
+// delay) and relaunches crashed process instances — rolling back only the
+// crashed process for message-logging protocols, or every process for
+// coordinated checkpointing.
+package failure
+
+import (
+	"fmt"
+
+	"mpichv/internal/daemon"
+	"mpichv/internal/sim"
+)
+
+// Program is one rank's application code, run against its node after the
+// daemon finishes any recovery procedure.
+type Program func(n *daemon.Node)
+
+// Dispatcher supervises the MPI run.
+type Dispatcher struct {
+	k        *sim.Kernel
+	nodes    []*daemon.Node
+	programs []Program
+	procs    []*sim.Proc
+
+	// Coordinated selects rollback-all semantics on any fault.
+	Coordinated bool
+	// RestartDelay models failure detection plus process relaunch.
+	RestartDelay sim.Time
+
+	// gen guards against overlapping kill/restart races: a restart only
+	// fires if no newer kill superseded it.
+	gen []int64
+
+	// OnAllDone, when set, is invoked as soon as every program completes
+	// (typically kernel.Stop).
+	OnAllDone func()
+
+	// Kills and Restarts count fault injections and relaunches.
+	Kills    int64
+	Restarts int64
+}
+
+// NewDispatcher builds a dispatcher for the given nodes and programs.
+func NewDispatcher(k *sim.Kernel, nodes []*daemon.Node, programs []Program) *Dispatcher {
+	if len(nodes) != len(programs) {
+		panic("failure: nodes and programs length mismatch")
+	}
+	return &Dispatcher{
+		k:            k,
+		nodes:        nodes,
+		programs:     programs,
+		procs:        make([]*sim.Proc, len(nodes)),
+		RestartDelay: 250 * sim.Millisecond,
+		gen:          make([]int64, len(nodes)),
+	}
+}
+
+// Launch spawns every rank's initial incarnation.
+func (d *Dispatcher) Launch() {
+	for r := range d.nodes {
+		d.spawn(r, false, false)
+	}
+}
+
+func (d *Dispatcher) spawn(r int, recovery, crashed bool) {
+	n := d.nodes[r]
+	prog := d.programs[r]
+	name := fmt.Sprintf("rank%d", r)
+	d.procs[r] = d.k.Spawn(name, func(p *sim.Proc) {
+		n.Bind(p)
+		if recovery {
+			if d.Coordinated {
+				n.PrepareRollback(crashed)
+			} else {
+				n.PrepareRecovery()
+			}
+		}
+		prog(n)
+		n.Finish()
+		if d.OnAllDone != nil && d.AllDone() {
+			d.OnAllDone()
+		}
+		// Keep the daemon alive after the program ends: peers that are
+		// still running may need this node's held determinants and logged
+		// payloads for their recovery (the real Vdaemon outlives the MPI
+		// process until the dispatcher tears the run down).
+		for !d.AllDone() {
+			n.WaitPacket()
+		}
+	})
+	if recovery {
+		d.Restarts++
+	}
+}
+
+// Kill injects a fault on rank r: the process dies now and is relaunched
+// after RestartDelay. Under coordinated checkpointing every process is
+// rolled back.
+func (d *Dispatcher) Kill(r int) {
+	d.Kills++
+	if d.Coordinated {
+		for i := range d.procs {
+			d.gen[i]++
+			d.procs[i].Kill()
+		}
+		gen := append([]int64(nil), d.gen...)
+		d.k.After(d.RestartDelay, func() {
+			for i := range d.nodes {
+				if d.gen[i] == gen[i] {
+					d.spawn(i, true, i == r)
+				}
+			}
+		})
+		return
+	}
+	d.gen[r]++
+	gen := d.gen[r]
+	d.procs[r].Kill()
+	d.k.After(d.RestartDelay, func() {
+		if d.gen[r] == gen {
+			d.spawn(r, true, true)
+		}
+	})
+}
+
+// ScheduleFault arranges for rank r to be killed at virtual time at.
+func (d *Dispatcher) ScheduleFault(at sim.Time, r int) {
+	d.k.At(at, func() {
+		if !d.AllDone() {
+			d.Kill(r)
+		}
+	})
+}
+
+// PeriodicFaults kills one process every interval (cycling through the
+// ranks deterministically) until the application completes. This drives
+// the paper's Figure 1 fault-frequency sweep.
+func (d *Dispatcher) PeriodicFaults(interval sim.Time) {
+	if interval <= 0 {
+		return
+	}
+	victim := 0
+	var tick func()
+	tick = func() {
+		if d.AllDone() {
+			return
+		}
+		d.Kill(victim)
+		victim = (victim + 1) % len(d.nodes)
+		d.k.After(interval, tick)
+	}
+	d.k.After(interval, tick)
+}
+
+// AllDone reports whether every rank's program has completed.
+func (d *Dispatcher) AllDone() bool {
+	for _, n := range d.nodes {
+		if !n.Done() {
+			return false
+		}
+	}
+	return true
+}

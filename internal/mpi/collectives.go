@@ -1,0 +1,123 @@
+package mpi
+
+// Additional collectives used by richer MPI applications. Like the core
+// set, they move byte counts over the daemon's point-to-point primitives
+// with the classic MPICH algorithms, so the logging protocols see realistic
+// communication patterns.
+
+// Reserved tag space, continuing mpi.go's ranges.
+const (
+	tagScatter = 6 << 20
+	tagGatherV = 7 << 20
+	tagScan    = 8 << 20
+	tagRedScat = 9 << 20
+)
+
+// Gather collects bytes from every process onto root (binomial tree,
+// mirroring Reduce but with payload growing toward the root).
+func (c *Comm) Gather(root, bytes int) {
+	np, rank := c.Size(), c.Rank()
+	if np == 1 {
+		return
+	}
+	vr := (rank - root + np) % np
+	mask := 1
+	collected := bytes // data accumulated in this subtree
+	for mask < np {
+		if vr&mask == 0 {
+			if vr+mask < np {
+				src := (vr + mask + root) % np
+				c.Recv(src, tagGatherV)
+				// Subtree size doubles (bounded by np).
+				sub := mask
+				if vr+2*mask > np {
+					sub = np - vr - mask
+				}
+				collected += sub * bytes
+			}
+		} else {
+			dst := (vr - mask + root) % np
+			c.Send(dst, tagGatherV, collected)
+			return
+		}
+		mask <<= 1
+	}
+}
+
+// Scatter distributes bytes to every process from root (binomial tree,
+// payload halving away from the root).
+func (c *Comm) Scatter(root, bytes int) {
+	np, rank := c.Size(), c.Rank()
+	if np == 1 {
+		return
+	}
+	vr := (rank - root + np) % np
+	// Receive phase: find our parent and the subtree payload we carry.
+	mask := 1
+	for mask < np {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % np
+			c.Recv(src, tagScatter)
+			break
+		}
+		mask <<= 1
+	}
+	if vr == 0 {
+		mask = 1
+		for mask < np {
+			mask <<= 1
+		}
+	}
+	// Send phase: forward each half-subtree's share.
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < np {
+			sub := mask
+			if vr+2*mask > np {
+				sub = np - vr - mask
+			}
+			dst := (vr + mask + root) % np
+			c.Send(dst, tagScatter, sub*bytes)
+		}
+		mask >>= 1
+	}
+}
+
+// Scan computes a prefix reduction: process i receives the partial result
+// of 0..i-1 from its predecessor and forwards its own to the successor
+// (linear pipeline — the classic small-communicator algorithm).
+func (c *Comm) Scan(bytes int) {
+	np, rank := c.Size(), c.Rank()
+	if np == 1 {
+		return
+	}
+	if rank > 0 {
+		c.Recv(rank-1, tagScan)
+	}
+	if rank < np-1 {
+		c.Send(rank+1, tagScan, bytes)
+	}
+}
+
+// ReduceScatter reduces a vector of np blocks and leaves one block on each
+// process (pairwise exchange with halving payload, power-of-two only falls
+// back to Reduce+Scatter otherwise).
+func (c *Comm) ReduceScatter(bytesPerBlock int) {
+	np, rank := c.Size(), c.Rank()
+	if np == 1 {
+		return
+	}
+	if np&(np-1) != 0 {
+		c.Reduce(0, bytesPerBlock*np)
+		c.Scatter(0, bytesPerBlock)
+		return
+	}
+	// Recursive halving: each round exchanges half the remaining blocks.
+	blocks := np
+	for mask := np / 2; mask >= 1; mask /= 2 {
+		partner := rank ^ mask
+		blocks /= 2
+		c.Send(partner, tagRedScat+mask, blocks*bytesPerBlock)
+		c.Recv(partner, tagRedScat+mask)
+	}
+}

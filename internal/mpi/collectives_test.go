@@ -1,0 +1,73 @@
+package mpi
+
+import "testing"
+
+func TestGatherCompletes(t *testing.T) {
+	for _, np := range []int{2, 3, 4, 7, 8} {
+		for _, root := range []int{0, np - 1} {
+			root := root
+			world(t, np, func(c *Comm) { c.Gather(root, 256) })
+		}
+	}
+}
+
+func TestGatherVolumeGrowsTowardRoot(t *testing.T) {
+	const np, bytes = 8, 100
+	nodes := world(t, np, func(c *Comm) { c.Gather(0, bytes) })
+	var total int64
+	for _, n := range nodes {
+		total += n.Stats().AppBytesSent
+	}
+	// A binomial gather moves each rank's block once per tree level it
+	// crosses; for power-of-two sizes the total equals sum over ranks of
+	// block * (ranks in subtree) = np*log2(np)/... at minimum it must move
+	// at least (np-1) blocks and at most np*log2(np) blocks.
+	min := int64((np - 1) * bytes)
+	max := int64(np * 3 * bytes) // log2(8) = 3 levels
+	if total < min || total > max {
+		t.Fatalf("gather moved %d bytes, want within [%d,%d]", total, min, max)
+	}
+}
+
+func TestScatterCompletes(t *testing.T) {
+	for _, np := range []int{2, 3, 4, 6, 8} {
+		world(t, np, func(c *Comm) { c.Scatter(0, 512) })
+	}
+}
+
+func TestScanIsPrefixOrdered(t *testing.T) {
+	const np = 6
+	var doneAt [np]int64
+	world(t, np, func(c *Comm) {
+		c.Scan(64)
+		doneAt[c.Rank()] = int64(c.Node().Now())
+	})
+	for r := 1; r < np; r++ {
+		if doneAt[r] < doneAt[r-1] {
+			t.Fatalf("scan finished out of prefix order: rank %d at %d before rank %d at %d",
+				r, doneAt[r], r-1, doneAt[r-1])
+		}
+	}
+}
+
+func TestReduceScatterCompletes(t *testing.T) {
+	for _, np := range []int{2, 4, 8} { // power of two path
+		world(t, np, func(c *Comm) { c.ReduceScatter(128) })
+	}
+	for _, np := range []int{3, 6} { // fallback path
+		world(t, np, func(c *Comm) { c.ReduceScatter(128) })
+	}
+}
+
+func TestReduceScatterHalvingVolume(t *testing.T) {
+	const np, bytes = 8, 64
+	nodes := world(t, np, func(c *Comm) { c.ReduceScatter(bytes) })
+	var msgs int64
+	for _, n := range nodes {
+		msgs += n.Stats().AppMsgsSent
+	}
+	// log2(np) rounds, one send per process per round.
+	if want := int64(np * 3); msgs != want {
+		t.Fatalf("reduce-scatter sent %d messages, want %d", msgs, want)
+	}
+}

@@ -1,0 +1,222 @@
+// Package netmodel models a switched Fast-Ethernet LAN for the simulator.
+//
+// The model is deliberately simple — a LogGP-style cost model with link
+// contention — because the phenomena the reproduction needs are all at the
+// message level:
+//
+//   - per-message one-way latency (propagation + switch + one-frame
+//     store-and-forward, folded into a single constant),
+//   - serialization time proportional to on-wire bytes (payload plus
+//     per-MTU framing overhead), which is what piggybacked causality bytes
+//     consume,
+//   - transmit-link and receive-link occupancy, so concurrent senders to one
+//     destination serialize (Event Logger saturation, recovery fan-in),
+//   - optional half-duplex mode, where a node's single medium is shared by
+//     transmit and receive (the paper notes MPICH-P4 cannot exploit
+//     full-duplex links while the Vdaemon can).
+//
+// Software costs (system calls, pipe crossings, memory copies) are *not*
+// modeled here; they belong to the protocol stacks in internal/daemon, so
+// that one wire model serves raw TCP, MPICH-P4 and MPICH-V alike.
+package netmodel
+
+import (
+	"fmt"
+
+	"mpichv/internal/sim"
+)
+
+// Config describes the physical network.
+type Config struct {
+	// Latency is the one-way zero-byte delivery time: propagation, switch
+	// transit and the store-and-forward of the first frame.
+	Latency sim.Time
+	// BandwidthBps is the link signalling rate in bits per second.
+	BandwidthBps int64
+	// MTU is the maximum payload carried per frame.
+	MTU int
+	// FrameOverhead is the non-payload bytes per frame (Ethernet framing,
+	// preamble, inter-frame gap, IP and TCP headers).
+	FrameOverhead int
+	// FullDuplex selects whether a node can transmit and receive at the
+	// same time.
+	FullDuplex bool
+}
+
+// FastEthernet returns the 100 Mbit/s switched-Ethernet configuration used
+// by the paper's 32-node cluster (full-duplex; MPICH-P4's inability to
+// exploit duplex links is modeled in its stack, not in the wire).
+func FastEthernet() Config {
+	return Config{
+		Latency:       51 * sim.Microsecond,
+		BandwidthBps:  100_000_000,
+		MTU:           1460,
+		FrameOverhead: 78,
+		FullDuplex:    true,
+	}
+}
+
+// Delivery is one message arriving at an endpoint.
+type Delivery struct {
+	Src     int
+	Bytes   int
+	Payload any
+}
+
+// Network is a set of endpoints joined by one switch.
+type Network struct {
+	k   *sim.Kernel
+	cfg Config
+	eps []*Endpoint
+
+	// TotalBytes counts application-visible bytes accepted for transmission
+	// (excluding frame overhead), for whole-run accounting.
+	TotalBytes int64
+	// TotalMessages counts messages accepted for transmission.
+	TotalMessages int64
+}
+
+// Endpoint is one attachment point (one node's NIC).
+type Endpoint struct {
+	net *Network
+	id  int
+
+	txFree sim.Time // transmit link busy until
+	rxFree sim.Time // receive link busy until
+
+	// Inbox receives deliveries when no handler is set.
+	Inbox *sim.Mailbox[Delivery]
+	// handler, when non-nil, is invoked in event context instead of
+	// enqueueing to Inbox.
+	handler func(Delivery)
+
+	BytesSent     int64
+	BytesReceived int64
+	MsgsSent      int64
+	MsgsReceived  int64
+}
+
+// New builds a network of n endpoints over kernel k.
+func New(k *sim.Kernel, cfg Config, n int) *Network {
+	if cfg.BandwidthBps <= 0 || cfg.MTU <= 0 {
+		panic("netmodel: bandwidth and MTU must be positive")
+	}
+	net := &Network{k: k, cfg: cfg}
+	for i := 0; i < n; i++ {
+		net.eps = append(net.eps, &Endpoint{
+			net:   net,
+			id:    i,
+			Inbox: sim.NewMailbox[Delivery](k),
+		})
+	}
+	return net
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Size returns the number of endpoints.
+func (n *Network) Size() int { return len(n.eps) }
+
+// Endpoint returns endpoint i.
+func (n *Network) Endpoint(i int) *Endpoint {
+	if i < 0 || i >= len(n.eps) {
+		panic(fmt.Sprintf("netmodel: endpoint %d out of range [0,%d)", i, len(n.eps)))
+	}
+	return n.eps[i]
+}
+
+// WireBytes returns the on-wire size of a b-byte message including framing.
+func (n *Network) WireBytes(b int) int64 {
+	frames := (b + n.cfg.MTU - 1) / n.cfg.MTU
+	if frames == 0 {
+		frames = 1
+	}
+	return int64(b) + int64(frames)*int64(n.cfg.FrameOverhead)
+}
+
+// SerializationTime returns the time the link is occupied transmitting a
+// b-byte message.
+func (n *Network) SerializationTime(b int) sim.Time {
+	wire := n.WireBytes(b)
+	return sim.Time(wire * 8 * int64(sim.Second) / n.cfg.BandwidthBps)
+}
+
+// ID returns the endpoint's index in the network.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// SetHandler routes future deliveries to fn (in kernel event context)
+// instead of the Inbox. Pass nil to restore Inbox delivery.
+func (ep *Endpoint) SetHandler(fn func(Delivery)) { ep.handler = fn }
+
+// Send transmits bytes of payload to endpoint dst. It never blocks the
+// caller (DMA semantics): link occupancy is accounted in virtual time and
+// the delivery event fires when the last byte clears the receiver's link.
+// Software costs on either side must be charged by the caller.
+func (ep *Endpoint) Send(dst int, bytes int, payload any) {
+	n := ep.net
+	k := n.k
+	to := n.Endpoint(dst)
+
+	n.TotalBytes += int64(bytes)
+	n.TotalMessages++
+	ep.BytesSent += int64(bytes)
+	ep.MsgsSent++
+
+	if dst == ep.id {
+		// Loopback: no NIC involvement, a token in-memory latency.
+		k.After(sim.Microsecond, func() { to.deliver(Delivery{Src: ep.id, Bytes: bytes, Payload: payload}) })
+		return
+	}
+
+	ser := n.SerializationTime(bytes)
+
+	// Transmit side: wait for our transmit link (and, on half-duplex media,
+	// for any in-progress receive) before the first bit departs.
+	depart := k.Now()
+	if ep.txFree > depart {
+		depart = ep.txFree
+	}
+	if !n.cfg.FullDuplex && ep.rxFree > depart {
+		depart = ep.rxFree
+	}
+	ep.txFree = depart + ser
+	if !n.cfg.FullDuplex {
+		ep.rxFree = maxTime(ep.rxFree, depart+ser)
+	}
+
+	// Receive side: the switch forwards frames as they arrive, so a single
+	// stream sees ser + Latency end to end; competing senders queue on the
+	// destination link.
+	arrival := depart + n.cfg.Latency
+	shift := sim.Time(0)
+	if to.rxFree > arrival {
+		shift = to.rxFree - arrival
+	}
+	deliverAt := arrival + shift + ser
+	to.rxFree = deliverAt
+	if !n.cfg.FullDuplex {
+		to.txFree = maxTime(to.txFree, deliverAt)
+	}
+
+	k.At(deliverAt, func() {
+		to.deliver(Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
+	})
+}
+
+func (ep *Endpoint) deliver(d Delivery) {
+	ep.BytesReceived += int64(d.Bytes)
+	ep.MsgsReceived++
+	if ep.handler != nil {
+		ep.handler(d)
+		return
+	}
+	ep.Inbox.Put(d)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package protocols
+
+import (
+	"fmt"
+
+	"mpichv/internal/causal"
+	"mpichv/internal/daemon"
+	"mpichv/internal/event"
+	"mpichv/internal/sim"
+	"mpichv/internal/vproto"
+)
+
+// elLogPacketBytes is the wire size of one asynchronous event-log packet:
+// a factored single-event body plus the daemon packet header.
+const elLogPacketBytes = event.FactoredGroupHeader + event.FactoredEventSize + 24
+
+// Vcausal is the causal message logging V-protocol, parameterized by a
+// piggyback reducer ("vcausal", "manetho" or "logon" — the three protocols
+// the paper compares all share this stack, per Figure 4). When useEL is
+// true every reception determinant is shipped asynchronously to the Event
+// Logger and its acknowledgments garbage collect volatile causality state.
+type Vcausal struct {
+	reducer     causal.Reducer
+	reducerName string
+	useEL       bool
+}
+
+// NewVcausal builds the causal stack for rank self of np processes with
+// the named piggyback reducer.
+func NewVcausal(reducerName string, self event.Rank, np int, useEL bool) *Vcausal {
+	return &Vcausal{
+		reducer:     causal.New(reducerName, self, np),
+		reducerName: reducerName,
+		useEL:       useEL,
+	}
+}
+
+// Name implements daemon.Protocol.
+func (v *Vcausal) Name() string {
+	suffix := "+el"
+	if !v.useEL {
+		suffix = "-noel"
+	}
+	return fmt.Sprintf("vcausal/%s%s", v.reducerName, suffix)
+}
+
+// ReducerName returns the piggyback-reduction technique in use.
+func (v *Vcausal) ReducerName() string { return v.reducerName }
+
+// UsesEL reports whether the stack ships determinants to the Event Logger.
+func (v *Vcausal) UsesEL() bool { return v.useEL }
+
+// Held returns the volatile determinant count (graph/sequence size).
+func (v *Vcausal) Held() int { return v.reducer.Held() }
+
+// PreSend implements daemon.Protocol: attach the piggyback, log the
+// payload, charge the serialization CPU time.
+func (v *Vcausal) PreSend(n *daemon.Node, m *vproto.Message) {
+	pb, ops := v.reducer.PiggybackFor(m.Dst)
+	m.Piggyback = pb
+	m.PiggybackBytes = v.reducer.PiggybackBytes(pb)
+
+	cpu := sim.Time(ops)*n.Cal.CostPerOp + sim.Time(len(pb))*n.Cal.PerEventSend
+	n.Stats().SendPiggybackTime += cpu
+
+	// Sender-based payload logging.
+	n.Log.Append(*m)
+	if n.Log.Bytes() > n.Stats().MaxSenderLogBytes {
+		n.Stats().MaxSenderLogBytes = n.Log.Bytes()
+	}
+	cpu += n.Cal.SenderLogOverhead + sim.Time(int64(m.Bytes)*int64(n.Cal.SenderLogPerByte))
+	n.ChargeCPU(cpu)
+}
+
+// OnDeliver implements daemon.Protocol: merge the piggyback, create and
+// record the reception determinant, ship it to the Event Logger.
+func (v *Vcausal) OnDeliver(n *daemon.Node, m *vproto.Message) {
+	ops := v.reducer.Merge(m.Src, m.Piggyback)
+	d, fresh := n.CreateDeterminant(m)
+	ops += v.reducer.AddLocal(d)
+
+	cpu := sim.Time(ops)*n.Cal.CostPerOp +
+		sim.Time(len(m.Piggyback))*n.Cal.PerEventRecv +
+		n.Cal.EventCreate
+	n.Stats().RecvPiggybackTime += cpu
+	n.ChargeCPU(cpu)
+
+	if held := v.reducer.Held(); held > n.Stats().MaxHeldDeterminants {
+		n.Stats().MaxHeldDeterminants = held
+	}
+
+	if fresh && v.useEL && n.ELEndpoint >= 0 {
+		n.ChargeCPU(n.Cal.ELShip)
+		n.Stats().EventsLogged++
+		n.SendPacket(n.ELEndpoint, elLogPacketBytes, &vproto.Packet{
+			Kind:         vproto.PktEventLog,
+			Determinants: []event.Determinant{d},
+		})
+	}
+}
+
+// OnControl implements daemon.Protocol.
+func (v *Vcausal) OnControl(n *daemon.Node, pkt *vproto.Packet) {
+	switch pkt.Kind {
+	case vproto.PktEventAck:
+		ops := v.reducer.Stable(pkt.StableVec)
+		n.ChargeCPU(sim.Time(ops) * n.Cal.CostPerOp)
+	case vproto.PktCkptRequest:
+		n.RequestCheckpoint(pkt.Epoch)
+	}
+}
+
+// TakeSnapshot implements daemon.Protocol (uncoordinated blocking store).
+func (v *Vcausal) TakeSnapshot(n *daemon.Node) { n.TakeCheckpoint() }
+
+// Snapshot implements daemon.Protocol: a message-logging checkpoint image
+// contains the process state, the held causality information and the
+// sender-based payload log (§IV-B.2 of the paper).
+func (v *Vcausal) Snapshot(n *daemon.Node, im *vproto.CheckpointImage) {
+	im.Determinants = v.reducer.All()
+	im.SenderLogBytes = n.Log.Bytes()
+	im.LoggedPayloads = n.Log.Snapshot()
+}
+
+// Restore implements daemon.Protocol: recovery rebuilds causality state
+// conservatively in a fresh reducer (peers' knowledge maps are not
+// restored; underestimating them is safe and only costs extra piggyback).
+func (v *Vcausal) Restore(n *daemon.Node, im *vproto.CheckpointImage) {
+	v.reducer = causal.New(v.reducerName, n.Rank(), n.NP())
+	if len(im.Determinants) > 0 {
+		v.reducer.Merge(n.Rank(), im.Determinants)
+	}
+}
+
+// Integrate implements daemon.Protocol.
+func (v *Vcausal) Integrate(n *daemon.Node, ds []event.Determinant, stable []uint64) {
+	v.reducer.Merge(n.Rank(), ds)
+	if stable != nil {
+		v.reducer.Stable(stable)
+	}
+}
+
+// HeldFor implements daemon.Protocol.
+func (v *Vcausal) HeldFor(creator event.Rank) []event.Determinant {
+	return v.reducer.HeldFor(creator)
+}
+
+// UsesSenderLog implements daemon.Protocol.
+func (v *Vcausal) UsesSenderLog() bool { return true }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kernel is the discrete-event simulation core. It owns the virtual clock,
+// the pending-event queue and the set of live processes. A Kernel is not
+// safe for concurrent use from multiple OS threads; the whole point is that
+// exactly one simulated activity runs at a time.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// yieldCh is the rendezvous on which a resumed process hands control
+	// back to the kernel loop (by parking, finishing, or dying).
+	yieldCh chan struct{}
+
+	procs     map[int]*Proc
+	nextProc  int
+	liveProcs int
+
+	// procPanic holds the message of a panic that unwound a process body;
+	// step re-raises it on the kernel goroutine.
+	procPanic string
+}
+
+// NewKernel returns a kernel with the clock at zero and a deterministic
+// random source derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:     rand.New(rand.NewSource(seed)),
+		yieldCh: make(chan struct{}),
+		procs:   make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source. All stochastic
+// decisions in a simulation must draw from this source; anything else breaks
+// reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics: silently reordering time would corrupt
+// causality in every layer above.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.queue.push(scheduled{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events until the queue drains or Stop is called, and returns
+// the final virtual time. Processes blocked forever (e.g. a Recv that is
+// never matched) do not keep Run alive: with no pending event there is no
+// future in which they could wake.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps ≤ deadline and returns the final
+// virtual time (which may be earlier than deadline if the queue drains).
+func (k *Kernel) RunUntil(deadline Time) Time {
+	for !k.stopped && k.queue.Len() > 0 {
+		if k.queue.peek().at > deadline {
+			k.now = deadline
+			return k.now
+		}
+		ev := k.queue.pop()
+		k.now = ev.at
+		ev.fn()
+	}
+	return k.now
+}
+
+// LiveProcs reports the number of spawned processes that have not yet
+// finished or been killed.
+func (k *Kernel) LiveProcs() int { return k.liveProcs }
+
+// QueueLen reports the number of pending events (useful in tests).
+func (k *Kernel) QueueLen() int { return k.queue.Len() }

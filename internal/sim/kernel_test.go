@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	end := k.Run()
+	if end != 30 {
+		t.Fatalf("final time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i := 0; i < 100; i++ {
+		if order[i] != i {
+			t.Fatalf("events at the same instant ran out of scheduling order: got %d at position %d", order[i], i)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run()
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	k := NewKernel(1)
+	var hits []Time
+	k.After(10, func() {
+		hits = append(hits, k.Now())
+		k.After(15, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 25 {
+		t.Fatalf("hits = %v, want [10 25]", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(10, func() { ran++ })
+	k.At(20, func() { ran++ })
+	k.At(30, func() { ran++ })
+	end := k.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran %d events before deadline, want 2", ran)
+	}
+	if end != 20 {
+		t.Fatalf("RunUntil returned %v, want 20", end)
+	}
+	k.Run()
+	if ran != 3 {
+		t.Fatalf("ran %d events total, want 3", ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(10, func() { ran++; k.Stop() })
+	k.At(20, func() { ran++ })
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1 (Stop should halt the loop)", ran)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel(42)
+		var stamps []Time
+		for i := 0; i < 5; i++ {
+			k.Spawn("worker", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					d := Time(p.Kernel().Rand().Intn(1000) + 1)
+					p.Sleep(d)
+					stamps = append(stamps, p.Now())
+				}
+			})
+		}
+		k.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 50 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5µs"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+// Mailbox is an unbounded FIFO queue connecting simulated activities.
+// Put never blocks; Get blocks the calling process until an item is
+// available. Items are delivered in Put order and waiters are served in
+// arrival order, so mailbox behaviour is deterministic.
+type Mailbox[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*waiter
+}
+
+type waiter struct {
+	p       *Proc
+	dropped bool
+}
+
+// NewMailbox returns an empty mailbox bound to k.
+func NewMailbox[T any](k *Kernel) *Mailbox[T] {
+	return &Mailbox[T]{k: k}
+}
+
+// Put appends v and wakes the oldest live waiter, if any. It may be called
+// from event context or from any process.
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	m.wakeOne()
+}
+
+func (m *Mailbox[T]) wakeOne() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.dropped {
+			continue
+		}
+		w.dropped = true
+		w.p.unpark()
+		return
+	}
+}
+
+// Get removes and returns the oldest item, blocking the calling process
+// until one is available. If the process is killed while waiting, Get
+// unwinds with ErrKilled.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		w := &waiter{p: p}
+		m.waiters = append(m.waiters, w)
+		// If p is killed while parked here, drop its waiter slot so a later
+		// Put does not waste a wakeup on a corpse.
+		unhook := p.addKillHook(func() { w.dropped = true })
+		p.park()
+		unhook()
+	}
+	v := m.items[0]
+	var zero T
+	m.items[0] = zero // release the reference for GC
+	m.items = m.items[1:]
+	// If items remain and other waiters exist (possible when several Puts
+	// landed before we ran), pass the wakeup along.
+	if len(m.items) > 0 {
+		m.wakeOne()
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking. The boolean
+// reports whether an item was available.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Drain removes and returns all queued items.
+func (m *Mailbox[T]) Drain() []T {
+	out := m.items
+	m.items = nil
+	return out
+}

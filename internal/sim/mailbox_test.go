@@ -1,0 +1,134 @@
+package sim
+
+import "testing"
+
+func TestMailboxFIFO(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k)
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Get(p))
+		}
+	})
+	k.At(10, func() { mb.Put(1); mb.Put(2) })
+	k.At(20, func() { mb.Put(3) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMailboxGetBlocksUntilPut(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[string](k)
+	var when Time
+	k.Spawn("consumer", func(p *Proc) {
+		mb.Get(p)
+		when = p.Now()
+	})
+	k.At(500, func() { mb.Put("x") })
+	k.Run()
+	if when != 500 {
+		t.Fatalf("consumer woke at %v, want 500", when)
+	}
+}
+
+func TestMailboxMultipleWaitersServedInOrder(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k)
+	var got []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			v := mb.Get(p)
+			got = append(got, name+":"+string(rune('0'+v)))
+		})
+	}
+	k.At(10, func() { mb.Put(1) })
+	k.At(20, func() { mb.Put(2) })
+	k.At(30, func() { mb.Put(3) })
+	k.Run()
+	want := []string{"w1:1", "w2:2", "w3:3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k)
+	if _, ok := mb.TryGet(); ok {
+		t.Fatal("TryGet on empty mailbox returned ok")
+	}
+	mb.Put(7)
+	v, ok := mb.TryGet()
+	if !ok || v != 7 {
+		t.Fatalf("TryGet = (%d, %v), want (7, true)", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", mb.Len())
+	}
+}
+
+func TestMailboxKilledWaiterDoesNotEatWakeup(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k)
+	var victim *Proc
+	victimGot := false
+	victim = k.Spawn("victim", func(p *Proc) {
+		mb.Get(p)
+		victimGot = true
+	})
+	survivorGot := 0
+	k.At(5, func() {
+		// survivor queues behind victim
+		k.Spawn("survivor", func(p *Proc) {
+			survivorGot = mb.Get(p)
+		})
+	})
+	k.At(10, func() { victim.Kill() })
+	k.At(20, func() { mb.Put(99) })
+	k.Run()
+	if victimGot {
+		t.Fatal("killed waiter received an item")
+	}
+	if survivorGot != 99 {
+		t.Fatalf("survivor got %d, want 99 (wakeup must skip killed waiters)", survivorGot)
+	}
+}
+
+func TestMailboxDrain(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox[int](k)
+	mb.Put(1)
+	mb.Put(2)
+	out := mb.Drain()
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("Drain = %v, want [1 2]", out)
+	}
+	if mb.Len() != 0 {
+		t.Fatalf("Len = %d after Drain, want 0", mb.Len())
+	}
+}
+
+func TestMailboxPendingItemsSurviveWaiterChurn(t *testing.T) {
+	// Two puts land while two consumers are parked: both must be served at
+	// the put instant, in order.
+	k := NewKernel(1)
+	mb := NewMailbox[int](k)
+	var got []int
+	for i := 0; i < 2; i++ {
+		k.Spawn("c", func(p *Proc) { got = append(got, mb.Get(p)) })
+	}
+	k.At(10, func() { mb.Put(1); mb.Put(2) })
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}

@@ -1,0 +1,164 @@
+package sim
+
+import "fmt"
+
+// ErrKilled is the panic value used to unwind a process goroutine when it is
+// killed. Process bodies must not recover from it; the kernel's wrapper does.
+var ErrKilled = fmt.Errorf("sim: process killed")
+
+// Proc is a simulated process: a goroutine that runs only when the kernel
+// hands it control, and hands control back whenever it blocks (Sleep, park,
+// mailbox Get) or finishes.
+type Proc struct {
+	k    *Kernel
+	id   int
+	name string
+
+	// resume carries control from the kernel to the process goroutine.
+	resume chan struct{}
+
+	killed   bool
+	finished bool
+	parked   bool
+
+	// onKill detaches the proc from the wait queue (e.g. a mailbox waiter
+	// list) it is enqueued on at the moment it is killed. A process blocks
+	// on at most one queue at a time, so a single slot suffices.
+	onKill func()
+}
+
+// Spawn creates a process named name running fn and schedules it to start at
+// the current virtual time. It returns the Proc handle immediately; the body
+// does not run until the kernel loop reaches the start event.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextProc++
+	p := &Proc{
+		k:      k,
+		id:     k.nextProc,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.procs[p.id] = p
+	k.liveProcs++
+
+	go func() {
+		<-p.resume // wait for the kernel to start us
+		defer func() {
+			if r := recover(); r != nil && r != any(ErrKilled) {
+				// Real bug in a process body: record it so the kernel loop
+				// (which is blocked on yieldCh) re-panics in its own
+				// goroutine, where callers can observe it.
+				k.procPanic = fmt.Sprintf("sim: process %q panicked: %v", name, r)
+			}
+			p.finished = true
+			if !p.killed {
+				k.liveProcs--
+				delete(k.procs, p.id)
+			}
+			k.yieldCh <- struct{}{}
+		}()
+		if p.killed {
+			// Killed before ever running: do not execute the body.
+			return
+		}
+		fn(p)
+	}()
+
+	k.At(k.now, func() { k.step(p) })
+	return p
+}
+
+// step transfers control to p and waits until p parks, finishes or dies.
+// A panic in the process body is re-raised here, in kernel context.
+func (k *Kernel) step(p *Proc) {
+	if p.finished {
+		return
+	}
+	p.resume <- struct{}{}
+	<-k.yieldCh
+	if k.procPanic != "" {
+		msg := k.procPanic
+		k.procPanic = ""
+		panic(msg)
+	}
+}
+
+// park blocks the calling process until another activity calls unpark. It
+// panics with ErrKilled if the process is killed while parked.
+func (p *Proc) park() {
+	p.parked = true
+	p.k.yieldCh <- struct{}{}
+	<-p.resume
+	p.parked = false
+	if p.killed {
+		panic(ErrKilled)
+	}
+}
+
+// unpark schedules p to resume at the current virtual time. It is the only
+// legal way to wake a parked process.
+func (p *Proc) unpark() {
+	p.k.At(p.k.now, func() { p.k.step(p) })
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep blocks the calling process for d nanoseconds of virtual time.
+// It models local computation as well as pure waiting; the network and CPU
+// layers charge their costs through Sleep.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.After(d, p.unpark)
+	p.park()
+}
+
+// Yield parks the process and immediately reschedules it, letting every
+// other activity pending at the current instant run first.
+func (p *Proc) Yield() {
+	p.unpark()
+	p.park()
+}
+
+// Kill marks p dead and, if it is parked, wakes it so that it unwinds with
+// ErrKilled. Killing an already-dead process is a no-op. Kill must be called
+// from kernel context or from another process (never from p itself).
+func (p *Proc) Kill() {
+	if p.killed || p.finished {
+		return
+	}
+	p.killed = true
+	p.k.liveProcs--
+	delete(p.k.procs, p.id)
+	if p.onKill != nil {
+		p.onKill()
+		p.onKill = nil
+	}
+	if p.parked {
+		p.unpark()
+	}
+}
+
+// Killed reports whether Kill has been called on p.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Finished reports whether the process body has returned or unwound.
+func (p *Proc) Finished() bool { return p.finished }
+
+// addKillHook registers f to run if the process is killed while blocked; it
+// returns a function that deregisters the hook (called on normal wakeup).
+func (p *Proc) addKillHook(f func()) (remove func()) {
+	p.onKill = f
+	return func() { p.onKill = nil }
+}

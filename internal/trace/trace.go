@@ -1,0 +1,80 @@
+// Package trace holds the measurement probes the experiment harness reads.
+// The paper instruments its implementation with piggyback statistics
+// (§V-A); Stats is the equivalent per-process probe set.
+package trace
+
+import "mpichv/internal/sim"
+
+// Stats accumulates one process's protocol measurements over a run. All
+// fields are plain counters written from simulator context (single
+// threaded), read after the run completes.
+type Stats struct {
+	// Application traffic (payloads the MPI program asked to move).
+	AppBytesSent int64
+	AppMsgsSent  int64
+
+	// Protocol overhead on the wire.
+	PiggybackBytes  int64 // causality bytes attached to app messages
+	PiggybackEvents int64 // determinants attached to app messages
+	HeaderBytes     int64 // fixed per-message protocol headers
+	ControlBytes    int64 // Event Logger / checkpoint / replay traffic
+	ControlMsgs     int64
+
+	// Piggyback management time (the paper's Figure 8): virtual CPU time
+	// spent preparing causality information at send and integrating it at
+	// receive.
+	SendPiggybackTime sim.Time
+	RecvPiggybackTime sim.Time
+
+	// Event accounting.
+	EventsCreated int64 // reception determinants created locally
+	EventsLogged  int64 // determinants shipped to the Event Logger
+
+	// Memory occupancy high-water marks.
+	MaxHeldDeterminants int   // reducer volatile memory, in events
+	MaxSenderLogBytes   int64 // sender-based payload log
+
+	// Recovery timers (the paper's Figure 10).
+	RecoveryEventCollection sim.Time // time to recover all events to replay
+	RecoveryTotal           sim.Time // checkpoint fetch + events + replay
+	Recoveries              int
+
+	// Checkpointing.
+	Checkpoints     int
+	CheckpointBytes int64
+}
+
+// Add accumulates o into s (used to aggregate per-process stats).
+func (s *Stats) Add(o *Stats) {
+	s.AppBytesSent += o.AppBytesSent
+	s.AppMsgsSent += o.AppMsgsSent
+	s.PiggybackBytes += o.PiggybackBytes
+	s.PiggybackEvents += o.PiggybackEvents
+	s.HeaderBytes += o.HeaderBytes
+	s.ControlBytes += o.ControlBytes
+	s.ControlMsgs += o.ControlMsgs
+	s.SendPiggybackTime += o.SendPiggybackTime
+	s.RecvPiggybackTime += o.RecvPiggybackTime
+	s.EventsCreated += o.EventsCreated
+	s.EventsLogged += o.EventsLogged
+	if o.MaxHeldDeterminants > s.MaxHeldDeterminants {
+		s.MaxHeldDeterminants = o.MaxHeldDeterminants
+	}
+	if o.MaxSenderLogBytes > s.MaxSenderLogBytes {
+		s.MaxSenderLogBytes = o.MaxSenderLogBytes
+	}
+	s.RecoveryEventCollection += o.RecoveryEventCollection
+	s.RecoveryTotal += o.RecoveryTotal
+	s.Recoveries += o.Recoveries
+	s.Checkpoints += o.Checkpoints
+	s.CheckpointBytes += o.CheckpointBytes
+}
+
+// PiggybackShare returns piggybacked bytes as a fraction of application
+// bytes (Figure 7's y axis). Zero application traffic yields zero.
+func (s *Stats) PiggybackShare() float64 {
+	if s.AppBytesSent == 0 {
+		return 0
+	}
+	return float64(s.PiggybackBytes) / float64(s.AppBytesSent)
+}

@@ -1,0 +1,171 @@
+// Package vproto defines the wire vocabulary of the MPICH-V framework
+// (Figure 4 of the paper): the application message format, the packet kinds
+// the generic communication daemon transports between nodes, the Event
+// Logger, the checkpoint server and the dispatcher, and the checkpoint
+// image layout. The fault-tolerance hook API itself (the V-protocol
+// interface) lives in internal/daemon, whose implementations (Vdummy,
+// Vcausal with any piggyback reducer, pessimistic logging, coordinated
+// checkpointing) turn the shared daemon into one stack or another.
+package vproto
+
+import (
+	"mpichv/internal/event"
+)
+
+// Message is one application-level MPI message as the daemon carries it.
+type Message struct {
+	Src, Dst event.Rank
+	Tag      int
+	Bytes    int // application payload size
+
+	// SendSeq is the per-(sender, destination) channel sequence number
+	// (1-based, consecutive per pair); together with Src and Dst it
+	// identifies the message for determinant logging, sender-based replay
+	// and duplicate suppression, and keeps the per-channel dedup floors
+	// contiguous.
+	SendSeq uint64
+	// Lamport is the sender's Lamport clock at emission.
+	Lamport uint64
+	// SenderLast is the sender's latest nondeterministic event at emission
+	// (the antecedence-graph cross edge for the reception determinant).
+	SenderLast event.EventID
+
+	// Piggyback carries causality determinants (causal protocols only).
+	Piggyback      []event.Determinant
+	PiggybackBytes int
+
+	// Replay marks a message re-sent from a sender log during recovery.
+	Replay bool
+}
+
+// PacketKind discriminates daemon-to-daemon and daemon-to-server packets.
+type PacketKind uint8
+
+const (
+	// PktApp carries an application Message.
+	PktApp PacketKind = iota
+	// PktEventLog carries determinants from a node to the Event Logger.
+	PktEventLog
+	// PktEventAck is the Event Logger's acknowledgment: a stable vector
+	// (highest safely stored clock per creator).
+	PktEventAck
+	// PktEventQuery asks the Event Logger for every determinant of one
+	// creator (restart).
+	PktEventQuery
+	// PktEventQueryResp answers a PktEventQuery.
+	PktEventQueryResp
+	// PktDetRequest asks a peer for its held determinants of one creator
+	// and for replay of logged payloads sent to it (restart without EL,
+	// and payload replay in general).
+	PktDetRequest
+	// PktDetResponse answers a PktDetRequest with determinants; logged
+	// payloads are re-sent separately as PktApp messages with Replay set.
+	PktDetResponse
+	// PktCkptStore ships a checkpoint image to the checkpoint server.
+	PktCkptStore
+	// PktCkptAck acknowledges a completed checkpoint transaction.
+	PktCkptAck
+	// PktCkptFetch asks the checkpoint server for a rank's latest image.
+	PktCkptFetch
+	// PktCkptImage answers a PktCkptFetch.
+	PktCkptImage
+	// PktCkptGC tells senders which payloads a checkpointed receiver no
+	// longer needs (sender-based log garbage collection).
+	PktCkptGC
+	// PktMarker is a Chandy-Lamport marker (coordinated checkpointing).
+	PktMarker
+	// PktCkptRequest is the checkpoint scheduler telling a node to take a
+	// checkpoint now.
+	PktCkptRequest
+	// PktELSync carries one Event Logger's stable array to a peer logger
+	// (distributed Event Logger extension).
+	PktELSync
+)
+
+// String returns the packet kind mnemonic.
+func (k PacketKind) String() string {
+	names := [...]string{"app", "evlog", "evack", "evquery", "evresp",
+		"detreq", "detresp", "ckstore", "ckack", "ckfetch", "ckimage",
+		"ckgc", "marker", "ckreq", "elsync"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+// Packet is the unit the simulated network carries between endpoints.
+type Packet struct {
+	Kind PacketKind
+	From int // source endpoint id
+
+	// App is set for PktApp.
+	App *Message
+
+	// Determinants is set for event-log, query-response and det-response
+	// packets.
+	Determinants []event.Determinant
+	// StableVec is set for PktEventAck.
+	StableVec []uint64
+	// Creator scopes PktEventQuery / PktDetRequest.
+	Creator event.Rank
+	// SeqFloor is the lowest send sequence (exclusive) the requester
+	// already consumed, for payload replay in PktDetRequest; for PktCkptGC
+	// it is the per-sender consumed sequence.
+	SeqFloor uint64
+	// WantDets asks the PktDetRequest target to include its held
+	// determinants of Creator in the response (restart without an Event
+	// Logger).
+	WantDets bool
+	// Epoch tags checkpoint waves and marker floods.
+	Epoch int
+	// Image is set for PktCkptStore / PktCkptImage.
+	Image *CheckpointImage
+	// Rank scopes checkpoint operations and PktCkptRequest.
+	Rank event.Rank
+}
+
+// CheckpointImage is a process state snapshot as stored by the checkpoint
+// server. In the simulation the application state is a step counter (the
+// workload programs are deterministic); everything else is real protocol
+// state.
+type CheckpointImage struct {
+	Rank  event.Rank
+	Epoch int
+	// Step is the number of completed MPI operations at snapshot time; on
+	// restart the program fast-forwards through that many operations.
+	Step int64
+	// AppBytes is the modeled size of the application state.
+	AppBytes int64
+	// Clock and Lamport restore the process's logging counters; SendSeqs
+	// restores the per-destination channel sequence counters.
+	Clock    uint64
+	SendSeqs []uint64
+	Lamport  uint64
+	// LastSeqSeen[r] is the highest send sequence consumed from each rank
+	// (duplicate suppression floor after restart).
+	LastSeqSeen []uint64
+	// Determinants are the held causality events at snapshot time.
+	Determinants []event.Determinant
+	// SenderLogBytes is the payload-log volume included in the image.
+	SenderLogBytes int64
+	// LoggedPayloads are the sender-log entries at snapshot time, so a
+	// restarted process can still serve replay requests from before its
+	// own crash.
+	LoggedPayloads []LoggedPayload
+	// ChannelMsgs are in-transit messages recorded by the Chandy-Lamport
+	// marker algorithm (coordinated checkpointing only); they are
+	// re-injected into the receive queue when the image is restored.
+	ChannelMsgs []Message
+}
+
+// Bytes returns the modeled on-wire size of the image.
+func (im *CheckpointImage) Bytes() int64 {
+	return im.AppBytes + im.SenderLogBytes +
+		int64(event.FactoredSize(im.Determinants)) + 64
+}
+
+// LoggedPayload is one sender-based-logging entry: enough to re-emit the
+// message during a peer's recovery.
+type LoggedPayload struct {
+	Msg Message
+}

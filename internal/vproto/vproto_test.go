@@ -1,0 +1,48 @@
+package vproto
+
+import (
+	"testing"
+
+	"mpichv/internal/event"
+)
+
+func TestPacketKindStrings(t *testing.T) {
+	kinds := []PacketKind{PktApp, PktEventLog, PktEventAck, PktEventQuery,
+		PktEventQueryResp, PktDetRequest, PktDetResponse, PktCkptStore,
+		PktCkptAck, PktCkptFetch, PktCkptImage, PktCkptGC, PktMarker,
+		PktCkptRequest}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "?" || s == "" {
+			t.Errorf("kind %d has no mnemonic", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate mnemonic %q", s)
+		}
+		seen[s] = true
+	}
+	if got := PacketKind(200).String(); got != "?" {
+		t.Errorf("unknown kind = %q, want ?", got)
+	}
+}
+
+func TestCheckpointImageBytes(t *testing.T) {
+	im := &CheckpointImage{
+		AppBytes:       1000,
+		SenderLogBytes: 500,
+		Determinants: []event.Determinant{
+			{ID: event.EventID{Creator: 0, Clock: 1}},
+			{ID: event.EventID{Creator: 0, Clock: 2}},
+		},
+	}
+	want := int64(1000 + 500 + event.FactoredSize(im.Determinants) + 64)
+	if got := im.Bytes(); got != want {
+		t.Errorf("Bytes = %d, want %d", got, want)
+	}
+	// The image size must grow with every component.
+	im.AppBytes += 100
+	if im.Bytes() != want+100 {
+		t.Error("AppBytes not reflected in size")
+	}
+}

@@ -1,0 +1,167 @@
+// Package mpichv is a deterministic, simulation-backed reproduction of the
+// MPICH-V fault tolerance framework and of the study "Impact of Event
+// Logger on Causal Message Logging Protocols for Fault Tolerant MPI"
+// (Bouteiller, Collin, Herault, Lemarinier, Cappello — IPDPS 2005).
+//
+// The library provides:
+//
+//   - a process-oriented discrete-event simulator with a Fast-Ethernet
+//     cluster model,
+//   - a mini-MPI (point-to-point + collectives) over the paper's generic
+//     communication daemon (Vdaemon) and V-protocol hook API,
+//   - the three causal message logging protocols the paper compares —
+//     Vcausal, Manetho and LogOn — with and without the Event Logger,
+//     plus pessimistic logging and Chandy-Lamport coordinated
+//     checkpointing baselines,
+//   - the auxiliary stable servers: Event Logger, checkpoint server,
+//     checkpoint scheduler and dispatcher with fault injection and full
+//     crash/recovery (checkpoint restore, determinant collection,
+//     sender-based payload replay),
+//   - NAS Parallel Benchmark communication skeletons (BT, SP, CG, LU, FT,
+//     MG; classes A and B) and a NetPIPE-style ping-pong,
+//   - one experiment per table/figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	spec := mpichv.BenchmarkSpec{Bench: "cg", Class: "A", NP: 4}
+//	bench := mpichv.BuildBenchmark(spec)
+//	c := mpichv.NewCluster(mpichv.Config{
+//		NP:      spec.NP,
+//		Stack:   mpichv.StackVcausal,
+//		Reducer: "manetho",
+//		UseEL:   true,
+//	})
+//	elapsed := c.Run(bench.Programs, 10*mpichv.Minute)
+//	fmt.Printf("%.1f Mflop/s\n", bench.Mflops(elapsed))
+//
+// Custom applications implement Program: a function receiving the rank's
+// daemon node, typically wrapped in a Comm for the MPI API.
+package mpichv
+
+import (
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/daemon"
+	"mpichv/internal/eventlogger"
+	"mpichv/internal/experiment"
+	"mpichv/internal/failure"
+	"mpichv/internal/mpi"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/trace"
+	"mpichv/internal/workload"
+)
+
+// Core simulation vocabulary.
+type (
+	// Time is virtual time in nanoseconds (see sim.Time).
+	Time = sim.Time
+	// Config describes a cluster deployment.
+	Config = cluster.Config
+	// Cluster is a wired deployment ready to run programs.
+	Cluster = cluster.Cluster
+	// Program is one rank's application code.
+	Program = failure.Program
+	// Node is a computing node (MPI process + communication daemon).
+	Node = daemon.Node
+	// Comm is the application-facing MPI communicator.
+	Comm = mpi.Comm
+	// Stats are the per-node measurement probes.
+	Stats = trace.Stats
+	// BenchmarkSpec names one workload instance.
+	BenchmarkSpec = workload.Spec
+	// Benchmark is a runnable workload with metadata.
+	Benchmark = workload.Instance
+	// Table is a rendered experiment result.
+	Table = experiment.Table
+	// NetworkConfig is the wire model.
+	NetworkConfig = netmodel.Config
+	// Dispatcher supervises a run and injects faults.
+	Dispatcher = failure.Dispatcher
+	// CheckpointPolicy selects the checkpoint scheduler behaviour.
+	CheckpointPolicy = checkpoint.Policy
+	// EventLoggerConfig is the Event Logger service model.
+	EventLoggerConfig = eventlogger.Config
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// Communication stacks.
+const (
+	StackRawTCP      = cluster.StackRawTCP
+	StackP4          = cluster.StackP4
+	StackVdummy      = cluster.StackVdummy
+	StackVcausal     = cluster.StackVcausal
+	StackPessimistic = cluster.StackPessimistic
+	StackCoordinated = cluster.StackCoordinated
+)
+
+// Checkpoint scheduler policies.
+const (
+	PolicyNone        = checkpoint.PolicyNone
+	PolicyRoundRobin  = checkpoint.PolicyRoundRobin
+	PolicyRandom      = checkpoint.PolicyRandom
+	PolicyCoordinated = checkpoint.PolicyCoordinated
+)
+
+// Reducers lists the piggyback-reduction techniques usable with
+// StackVcausal: "vcausal", "manetho", "logon".
+func Reducers() []string { return []string{"vcausal", "manetho", "logon"} }
+
+// NewCluster builds a deployment per cfg (see cluster.New).
+func NewCluster(cfg Config) *Cluster { return cluster.New(cfg) }
+
+// NewComm wraps a node in an MPI communicator.
+func NewComm(n *Node) *Comm { return mpi.NewComm(n) }
+
+// BuildBenchmark constructs a NAS skeleton instance.
+func BuildBenchmark(spec BenchmarkSpec) *Benchmark { return workload.Build(spec) }
+
+// BuildPingPong constructs the NetPIPE ping-pong benchmark.
+func BuildPingPong(bytes, reps int) *Benchmark { return workload.BuildPingPong(bytes, reps) }
+
+// FastEthernet returns the paper's 100 Mbit/s switched network model.
+func FastEthernet() NetworkConfig { return netmodel.FastEthernet() }
+
+// Experiment runs one of the paper's evaluation artifacts by name and
+// returns its table. Names: "fig1", "fig6a", "fig6b", "fig7", "fig8a",
+// "fig8b", "fig9", "fig10". Unknown names return nil.
+func Experiment(name string) *Table {
+	fn, ok := ExperimentIndex()[name]
+	if !ok {
+		return nil
+	}
+	return fn()
+}
+
+// ExperimentIndex maps experiment names to their generator functions.
+func ExperimentIndex() map[string]func() *Table {
+	return map[string]func() *Table{
+		"fig1":        experiment.Fig01FaultResilience,
+		"fig6a":       experiment.Fig06aLatency,
+		"fig6b":       experiment.Fig06bBandwidth,
+		"fig7":        experiment.Fig07PiggybackSize,
+		"fig8a":       experiment.Fig08aPiggybackTime,
+		"fig8b":       experiment.Fig08bPiggybackShare,
+		"fig9":        experiment.Fig09NAS,
+		"fig10":       experiment.Fig10Recovery,
+		"ext-el":      experiment.ExtDistributedEL,
+		"ext-elsweep": experiment.ExtELServiceSweep,
+		"ext-sched":   experiment.ExtSchedulerPolicies,
+		"ext-duplex":  experiment.ExtDuplexAblation,
+	}
+}
+
+// ExperimentNames returns the experiment names in the paper's order,
+// followed by the reproduction's extension experiments.
+func ExperimentNames() []string {
+	return []string{"fig1", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9", "fig10",
+		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex"}
+}

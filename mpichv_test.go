@@ -1,0 +1,76 @@
+package mpichv_test
+
+import (
+	"testing"
+
+	"mpichv"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	spec := mpichv.BenchmarkSpec{Bench: "cg", Class: "A", NP: 4}
+	bench := mpichv.BuildBenchmark(spec)
+	c := mpichv.NewCluster(mpichv.Config{
+		NP:      spec.NP,
+		Stack:   mpichv.StackVcausal,
+		Reducer: "manetho",
+		UseEL:   true,
+	})
+	elapsed := c.Run(bench.Programs, 10*mpichv.Minute)
+	if elapsed <= 0 {
+		t.Fatal("run failed")
+	}
+	if mf := bench.Mflops(elapsed); mf <= 0 {
+		t.Fatalf("Mflops = %f", mf)
+	}
+	if st := c.AggregateStats(); st.EventsLogged == 0 {
+		t.Fatal("no events reached the Event Logger")
+	}
+}
+
+func TestPublicCustomProgram(t *testing.T) {
+	const np = 3
+	c := mpichv.NewCluster(mpichv.Config{NP: np, Stack: mpichv.StackVcausal, Reducer: "logon", UseEL: false})
+	programs := make([]mpichv.Program, np)
+	sum := 0
+	for r := 0; r < np; r++ {
+		r := r
+		programs[r] = func(n *mpichv.Node) {
+			comm := mpichv.NewComm(n)
+			comm.Compute(100 * mpichv.Microsecond)
+			comm.Allreduce(8)
+			sum += r
+		}
+	}
+	c.Run(programs, mpichv.Minute)
+	if sum != 3 {
+		t.Fatalf("programs ran sum=%d, want 3", sum)
+	}
+}
+
+func TestExperimentIndexComplete(t *testing.T) {
+	idx := mpichv.ExperimentIndex()
+	for _, name := range mpichv.ExperimentNames() {
+		if idx[name] == nil {
+			t.Errorf("experiment %q missing from index", name)
+		}
+	}
+	if mpichv.Experiment("nope") != nil {
+		t.Error("unknown experiment should return nil")
+	}
+	if len(mpichv.Reducers()) != 3 {
+		t.Error("three reducers expected")
+	}
+}
+
+func TestExperimentRunsByName(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment regeneration is slow")
+	}
+	tab := mpichv.Experiment("fig6a")
+	if tab == nil || len(tab.Rows) == 0 {
+		t.Fatal("fig6a produced no table")
+	}
+	if out := tab.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
