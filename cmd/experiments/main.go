@@ -1,16 +1,27 @@
 // Command experiments regenerates the paper's evaluation tables and
-// figures. With no flags it runs everything in the paper's order.
+// figures through the parallel sweep harness. With no flags it runs
+// everything in the paper's order, one worker per CPU, and prints the
+// paper-style tables.
 //
 // Usage:
 //
-//	experiments [-fig 1|6a|6b|7|8a|8b|9|10[,...]]
+//	experiments [-fig 1|6a|6b|7|8a|8b|9|10[,...]] [-parallel N]
+//	            [-json] [-csv] [-out DIR] [-timeout D] [-q]
 //	experiments -list
+//
+// -parallel sets the worker-pool width (0 = GOMAXPROCS); every cell of a
+// figure's sweep grid is an independent simulation, so -parallel 1 and
+// -parallel N produce identical tables and results. -json and -csv emit
+// the structured sweep results behind each table: into DIR as one
+// <sweep>.json / <sweep>.csv file per sweep when -out is given, otherwise
+// to stdout (suppressing the tables).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,6 +31,12 @@ import (
 func main() {
 	figs := flag.String("fig", "all", "comma-separated figures to regenerate (e.g. \"6a,7\"), or \"all\"")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	parallel := flag.Int("parallel", 0, "sweep worker-pool size (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit structured sweep results as JSON")
+	csvOut := flag.Bool("csv", false, "emit structured sweep results as CSV")
+	outDir := flag.String("out", "", "directory for -json/-csv files (empty = stdout, suppressing tables)")
+	cellTimeout := flag.Duration("timeout", 0, "wall-clock timeout per sweep cell (0 = none)")
+	quiet := flag.Bool("q", false, "suppress progress reporting on stderr")
 	flag.Parse()
 
 	if *list {
@@ -29,28 +46,103 @@ func main() {
 		return
 	}
 
+	reports := mpichv.ExperimentReports()
 	var names []string
 	if *figs == "all" {
 		names = mpichv.ExperimentNames()
 	} else {
-		idx := mpichv.ExperimentIndex()
 		for _, f := range strings.Split(*figs, ",") {
 			f = strings.TrimSpace(f)
-			if _, ok := idx[f]; !ok {
+			if _, ok := reports[f]; !ok {
 				f = "fig" + strings.TrimPrefix(f, "fig")
 			}
 			names = append(names, f)
 		}
 	}
 
+	opts := mpichv.SweepOptions{Parallel: *parallel, CellTimeout: *cellTimeout}
+	if !*quiet {
+		opts.OnProgress = func(p mpichv.SweepProgress) {
+			if p.Done == p.Total || p.Done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "  [%s] %d/%d cells\n", p.Sweep, p.Done, p.Total)
+			}
+		}
+		opts.OnError = func(e mpichv.SweepCellError) { fmt.Fprintf(os.Stderr, "  cell error: %v\n", e) }
+	}
+	mpichv.SetExperimentRunner(opts)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create -out directory: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Structured output on stdout replaces the tables; with -out the
+	// tables stay on stdout and files carry the structured results.
+	printTables := !(*jsonOut || *csvOut) || *outDir != ""
+
 	for _, name := range names {
-		start := time.Now()
-		tab := mpichv.Experiment(name)
-		if tab == nil {
+		gen, ok := reports[name]
+		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
 		}
-		fmt.Println(tab.Render())
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+		start := time.Now()
+		rep, err := generate(gen)
+		if err != nil {
+			fatal("experiment %s failed: %v", name, err)
+		}
+		if printTables {
+			fmt.Println(rep.Table.Render())
+		}
+		for _, res := range rep.Sweeps {
+			if *jsonOut {
+				data, err := res.JSON()
+				if err != nil {
+					fatal("marshal %s: %v", res.Name, err)
+				}
+				emit(*outDir, res.Name+".json", append(data, '\n'))
+			}
+			if *csvOut {
+				data, err := res.CSV()
+				if err != nil {
+					fatal("csv %s: %v", res.Name, err)
+				}
+				emit(*outDir, res.Name+".csv", []byte(data))
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
+		}
 	}
+}
+
+// generate runs one report generator, converting the harness's
+// loud-failure panics (a cell that timed out, errored or missed its
+// virtual cap feeding a table) into a clean CLI error.
+func generate(gen func() *mpichv.ExperimentReport) (rep *mpichv.ExperimentReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return gen(), nil
+}
+
+// emit writes structured output to dir/name, or to stdout when dir is
+// empty.
+func emit(dir, name string, data []byte) {
+	if dir == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal("write %s: %v", path, err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -1,0 +1,3 @@
+module mpichv
+
+go 1.24

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mpichv/internal/cluster"
+	"mpichv/internal/harness"
 	"mpichv/internal/workload"
 )
 
@@ -19,6 +20,9 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 }
 
 func TestFig06aLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep regenerates a full figure")
+	}
 	tab := Fig06aLatency()
 	if len(tab.Rows) != 8 {
 		t.Fatalf("got %d rows, want 8", len(tab.Rows))
@@ -107,9 +111,13 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestRunSmoke(t *testing.T) {
-	in := workload.Build(workload.Spec{Bench: "cg", Class: "A", NP: 4})
-	res := run(in, stackConfig{Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}, runOpts{})
-	if res.Elapsed <= 0 || res.Stats.AppMsgsSent == 0 {
+	res := harness.Run(&harness.SweepSpec{
+		Name:      "smoke",
+		Workloads: nasWorkloads([]workload.Spec{{Bench: "cg", Class: "A", NP: 4}}),
+		Stacks:    hStacks([]stackConfig{{"Manetho (EL)", cluster.StackVcausal, "manetho", true}}),
+	}, harness.Options{})
+	cr := res.MustGet("cg.A.4", "Manetho (EL)", "base")
+	if cr.Elapsed <= 0 || cr.Stats.AppMsgsSent == 0 {
 		t.Fatal("smoke run failed")
 	}
 }

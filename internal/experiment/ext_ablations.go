@@ -6,17 +6,45 @@ import (
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
 	"mpichv/internal/eventlogger"
+	"mpichv/internal/harness"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
 	"mpichv/internal/workload"
 )
+
+// extELServiceTimes is the per-request service-time axis of the Event
+// Logger capacity ablation, in microseconds.
+var extELServiceTimes = []sim.Time{5, 15, 30, 60, 120, 240}
 
 // ExtELServiceSweep is an ablation over the Event Logger's service
 // capacity: it locates the saturation onset the paper observes on LU.16 by
 // sweeping the per-request service time. Below the knee, acknowledgments
 // beat the application's send gaps and piggybacks vanish; above it, the
 // backlog grows and residual piggyback reappears.
-func ExtELServiceSweep() *Table {
+func ExtELServiceSweep() *Table { return ExtELServiceSweepReport().Table }
+
+// ExtELServiceSweepReport runs the EL capacity ablation as one sweep:
+// LU.A.16 × Vcausal+EL × one variant per service time.
+func ExtELServiceSweepReport() *Report {
+	variants := make([]harness.Variant, len(extELServiceTimes))
+	for i, perPacket := range extELServiceTimes {
+		variants[i] = harness.Variant{
+			Key: fmt.Sprintf("svc-%dus", int64(perPacket)),
+			EL: eventlogger.Config{
+				PerPacket:        perPacket * sim.Microsecond,
+				PerEvent:         8 * sim.Microsecond,
+				AckOverheadBytes: 16,
+			},
+		}
+	}
+	res := sweep(&harness.SweepSpec{
+		Name:       "ext-elsweep",
+		Workloads:  nasWorkloads([]workload.Spec{{Bench: "lu", Class: "A", NP: 16}}),
+		Stacks:     []harness.Stack{{Key: "vcausal-el", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true}},
+		Variants:   variants,
+		MaxVirtual: 100 * sim.Minute,
+		Probes:     []string{harness.ProbeELBacklog},
+	})
 	t := &Table{
 		Title:  "Ablation: Event Logger service time vs piggyback elimination (LU.A.16, Vcausal)",
 		Header: []string{"per-request service (µs)", "piggyback %", "max EL backlog", "Mflop/s"},
@@ -25,36 +53,52 @@ func ExtELServiceSweep() *Table {
 			"inter-arrival gap; past the knee, residual piggyback and backlog climb together",
 		},
 	}
-	spec := workload.Spec{Bench: "lu", Class: "A", NP: 16}
-	for _, perPacket := range []sim.Time{5, 15, 30, 60, 120, 240} {
-		in := workload.Build(spec)
-		cfg := cluster.Config{
-			NP: spec.NP, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
-			EL: eventlogger.Config{
-				PerPacket:        perPacket * sim.Microsecond,
-				PerEvent:         8 * sim.Microsecond,
-				AckOverheadBytes: 16,
-			},
-			AppStateBytes: in.AppStateBytes,
-		}
-		c := cluster.New(cfg)
-		elapsed := c.Run(in.Programs, 100*sim.Minute)
-		st := c.AggregateStats()
+	for i, perPacket := range extELServiceTimes {
+		cr := res.MustGet("lu.A.16", "vcausal-el", variants[i].Key)
 		t.AddRow(
 			fmt.Sprintf("%d", int64(perPacket)),
-			pct(st.PiggybackShare()),
-			fmt.Sprintf("%d", c.ELGroup.MaxQueueLen()),
-			f1(in.Mflops(elapsed)),
+			pct(cr.Stats.PiggybackShare()),
+			fmt.Sprintf("%d", int64(cr.Probes[harness.ProbeELBacklog])),
+			f1(cr.Mflops),
 		)
 	}
-	return t
+	return &Report{Name: "ext-elsweep", Table: t, Sweeps: []*harness.Results{res}}
+}
+
+// extSchedulerPolicies is the checkpoint scheduler axis of §IV-B.3.
+var extSchedulerPolicies = []checkpoint.Policy{
+	checkpoint.PolicyNone, checkpoint.PolicyRoundRobin, checkpoint.PolicyRandom,
 }
 
 // ExtSchedulerPolicies is an ablation over the checkpoint scheduler
 // policies of §IV-B.3: the paper argues uncoordinated scheduling should
 // maximize sender-based log garbage collection. The probe is the sender-log
 // memory high-water mark under identical checkpoint budgets.
-func ExtSchedulerPolicies() *Table {
+func ExtSchedulerPolicies() *Table { return ExtSchedulerPoliciesReport().Table }
+
+// ExtSchedulerPoliciesReport runs the scheduler ablation as one sweep:
+// BT.A.9 × Manetho+EL × one variant per policy.
+func ExtSchedulerPoliciesReport() *Report {
+	variants := make([]harness.Variant, len(extSchedulerPolicies))
+	for i, pol := range extSchedulerPolicies {
+		variants[i] = harness.Variant{
+			Key:          string(pol),
+			CkptPolicy:   pol,
+			CkptInterval: 300 * sim.Millisecond,
+		}
+	}
+	res := sweep(&harness.SweepSpec{
+		Name: "ext-sched",
+		Workloads: []harness.Workload{{
+			Key:  "bt.A.9",
+			Spec: workload.Spec{Bench: "bt", Class: "A", NP: 9},
+			// Keep the store cost small so the policy is the variable.
+			AppStateBytes: 1 << 20,
+		}},
+		Stacks:     []harness.Stack{{Key: "manetho-el", Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}},
+		Variants:   variants,
+		MaxVirtual: 100 * sim.Minute,
+	})
 	t := &Table{
 		Title:  "Ablation: checkpoint scheduler policy vs sender-log occupation (BT.A.9, Manetho+EL)",
 		Header: []string{"policy", "checkpoints", "max sender log (KB)", "Mflop/s"},
@@ -63,32 +107,50 @@ func ExtSchedulerPolicies() *Table {
 			"continuously; no checkpoints at all lets payload logs grow to the full run volume",
 		},
 	}
-	spec := workload.Spec{Bench: "bt", Class: "A", NP: 9}
-	for _, pol := range []checkpoint.Policy{checkpoint.PolicyNone, checkpoint.PolicyRoundRobin, checkpoint.PolicyRandom} {
-		in := workload.Build(spec)
-		in.AppStateBytes = 1 << 20 // keep store cost small so the policy is the variable
-		cfg := cluster.Config{
-			NP: spec.NP, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true,
-			CkptPolicy: pol, CkptInterval: 300 * sim.Millisecond,
-			AppStateBytes: in.AppStateBytes,
-		}
-		c := cluster.New(cfg)
-		elapsed := c.Run(in.Programs, 100*sim.Minute)
-		st := c.AggregateStats()
+	for i, pol := range extSchedulerPolicies {
+		cr := res.MustGet("bt.A.9", "manetho-el", variants[i].Key)
 		t.AddRow(
 			string(pol),
-			fmt.Sprintf("%d", st.Checkpoints),
-			fmt.Sprintf("%d", st.MaxSenderLogBytes/1024),
-			f1(in.Mflops(elapsed)),
+			fmt.Sprintf("%d", cr.Stats.Checkpoints),
+			fmt.Sprintf("%d", cr.Stats.MaxSenderLogBytes/1024),
+			f1(cr.Mflops),
 		)
 	}
-	return t
+	return &Report{Name: "ext-sched", Table: t, Sweeps: []*harness.Results{res}}
+}
+
+// extDuplexSpecs lists the kernels of the duplex ablation.
+var extDuplexSpecs = []workload.Spec{
+	{Bench: "bt", Class: "A", NP: 9},
+	{Bench: "ft", Class: "A", NP: 8},
+	{Bench: "cg", Class: "A", NP: 8},
 }
 
 // ExtDuplexAblation isolates the full-duplex advantage the paper credits
 // for Vdummy beating MPICH-P4 on some NAS kernels: the same Vdaemon stack
 // is run over full- and half-duplex links.
-func ExtDuplexAblation() *Table {
+func ExtDuplexAblation() *Table { return ExtDuplexAblationReport().Table }
+
+// ExtDuplexAblationReport runs the duplex ablation as one sweep:
+// benchmarks × Vdummy × {full, half} duplex wire models.
+func ExtDuplexAblationReport() *Report {
+	variants := make([]harness.Variant, 2)
+	for i, duplex := range []bool{true, false} {
+		net := netmodel.FastEthernet()
+		net.FullDuplex = duplex
+		key := "full-duplex"
+		if !duplex {
+			key = "half-duplex"
+		}
+		variants[i] = harness.Variant{Key: key, Net: &net}
+	}
+	res := sweep(&harness.SweepSpec{
+		Name:       "ext-duplex",
+		Workloads:  nasWorkloads(extDuplexSpecs),
+		Stacks:     []harness.Stack{{Key: "vdummy", Stack: cluster.StackVdummy}},
+		Variants:   variants,
+		MaxVirtual: 100 * sim.Minute,
+	})
 	t := &Table{
 		Title:  "Ablation: link duplex mode under the Vdaemon stack (Mflop/s)",
 		Header: []string{"Benchmark", "#proc", "full duplex", "half duplex", "gain"},
@@ -97,24 +159,10 @@ func ExtDuplexAblation() *Table {
 			"most from full duplex; compute-dominated BT gains the least",
 		},
 	}
-	specs := []workload.Spec{
-		{Bench: "bt", Class: "A", NP: 9},
-		{Bench: "ft", Class: "A", NP: 8},
-		{Bench: "cg", Class: "A", NP: 8},
-	}
-	for _, spec := range specs {
+	for _, spec := range extDuplexSpecs {
 		var mflops [2]float64
-		for i, duplex := range []bool{true, false} {
-			in := workload.Build(spec)
-			net := netmodel.FastEthernet()
-			net.FullDuplex = duplex
-			cfg := cluster.Config{
-				NP: spec.NP, Stack: cluster.StackVdummy, Net: net,
-				AppStateBytes: in.AppStateBytes,
-			}
-			c := cluster.New(cfg)
-			elapsed := c.Run(in.Programs, 100*sim.Minute)
-			mflops[i] = in.Mflops(elapsed)
+		for i, v := range variants {
+			mflops[i] = res.MustGet(spec.String(), "vdummy", v.Key).Mflops
 		}
 		t.AddRow(
 			spec.Bench+"."+spec.Class,
@@ -123,5 +171,5 @@ func ExtDuplexAblation() *Table {
 			fmt.Sprintf("%+.1f%%", 100*(mflops[0]/mflops[1]-1)),
 		)
 	}
-	return t
+	return &Report{Name: "ext-duplex", Table: t, Sweeps: []*harness.Results{res}}
 }

@@ -5,9 +5,23 @@ import (
 
 	"mpichv/internal/cluster"
 	"mpichv/internal/eventlogger"
+	"mpichv/internal/harness"
 	"mpichv/internal/sim"
 	"mpichv/internal/workload"
 )
+
+// extDistELPoints is the deployment axis of the distributed-EL extension:
+// logger count × stability dissemination design.
+var extDistELPoints = []struct {
+	servers int
+	sync    eventlogger.SyncPolicy
+}{
+	{1, eventlogger.SyncExchange},
+	{2, eventlogger.SyncExchange},
+	{2, eventlogger.SyncBroadcast},
+	{4, eventlogger.SyncExchange},
+	{4, eventlogger.SyncBroadcast},
+}
 
 // ExtDistributedEL is the reproduction's extension experiment: the paper's
 // future-work proposal (§VI) of distributing the event logging over several
@@ -16,7 +30,27 @@ import (
 // dissemination designs the paper sketches, and reports the three
 // quantities the distribution is supposed to improve: the residual
 // piggyback volume, the logger backlog, and application performance.
-func ExtDistributedEL() *Table {
+func ExtDistributedEL() *Table { return ExtDistributedELReport().Table }
+
+// ExtDistributedELReport runs the extension as one sweep: LU.A.16 ×
+// Vcausal+EL × one variant per (logger count, sync design) point.
+func ExtDistributedELReport() *Report {
+	variants := make([]harness.Variant, len(extDistELPoints))
+	for i, pt := range extDistELPoints {
+		variants[i] = harness.Variant{
+			Key:          fmt.Sprintf("el%d-%s", pt.servers, pt.sync),
+			EventLoggers: pt.servers,
+			ELSync:       pt.sync,
+		}
+	}
+	res := sweep(&harness.SweepSpec{
+		Name:       "ext-el",
+		Workloads:  nasWorkloads([]workload.Spec{{Bench: "lu", Class: "A", NP: 16}}),
+		Stacks:     []harness.Stack{{Key: "vcausal-el", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true}},
+		Variants:   variants,
+		MaxVirtual: 100 * sim.Minute,
+		Probes:     []string{harness.ProbeELBacklog},
+	})
 	t := &Table{
 		Title: "Extension (paper §VI): distributing the Event Logger — LU.A.16, Vcausal",
 		Header: []string{"Event Loggers", "sync design", "piggyback %", "max EL backlog",
@@ -27,40 +61,21 @@ func ExtDistributedEL() *Table {
 			"dissemination trims the residual further at the cost of extra control traffic",
 		},
 	}
-	type point struct {
-		servers int
-		sync    eventlogger.SyncPolicy
-	}
-	points := []point{
-		{1, eventlogger.SyncExchange},
-		{2, eventlogger.SyncExchange},
-		{2, eventlogger.SyncBroadcast},
-		{4, eventlogger.SyncExchange},
-		{4, eventlogger.SyncBroadcast},
-	}
-	spec := workload.Spec{Bench: "lu", Class: "A", NP: 16}
-	for _, pt := range points {
-		in := workload.Build(spec)
-		cfg := cluster.Config{
-			NP: spec.NP, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
-			EventLoggers: pt.servers, ELSync: pt.sync,
-			AppStateBytes: in.AppStateBytes,
-		}
-		c := cluster.New(cfg)
-		elapsed := c.Run(in.Programs, 100*sim.Minute)
-		st := c.AggregateStats()
+	for i, pt := range extDistELPoints {
+		cr := res.MustGet("lu.A.16", "vcausal-el", variants[i].Key)
 		sync := string(pt.sync)
 		if pt.servers == 1 {
 			sync = "-"
 		}
+		st := cr.Stats
 		t.AddRow(
 			fmt.Sprintf("%d", pt.servers),
 			sync,
 			pct(st.PiggybackShare()),
-			fmt.Sprintf("%d", c.ELGroup.MaxQueueLen()),
+			fmt.Sprintf("%d", int64(cr.Probes[harness.ProbeELBacklog])),
 			fmt.Sprintf("%.3f", (st.SendPiggybackTime+st.RecvPiggybackTime).Seconds()),
-			f1(in.Mflops(elapsed)),
+			f1(cr.Mflops),
 		)
 	}
-	return t
+	return &Report{Name: "ext-el", Table: t, Sweeps: []*harness.Results{res}}
 }

@@ -5,6 +5,7 @@ import (
 
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
+	"mpichv/internal/harness"
 	"mpichv/internal/sim"
 	"mpichv/internal/workload"
 )
@@ -18,10 +19,14 @@ var fig01Stacks = []stackConfig{
 	{"Causal (EL)", cluster.StackVcausal, "vcausal", true},
 }
 
-// fig01DivergedCap marks a run that did not finish within divergenceFactor
+// divergenceFactor marks a run that did not finish within divergenceFactor
 // times its fault-free duration: the protocol no longer makes progress at
 // that fault frequency (the vertical slope in the paper's figure).
 const divergenceFactor = 12
+
+// fig01Intervals is the fault-frequency axis (0 = fault free).
+var fig01Intervals = []sim.Time{0, 20 * sim.Second, 12 * sim.Second, 8 * sim.Second,
+	5 * sim.Second, 3 * sim.Second}
 
 // Fig01FaultResilience reproduces Figure 1: the slowdown of NAS BT on 25
 // nodes as the fault frequency increases, for coordinated checkpointing,
@@ -33,10 +38,34 @@ const divergenceFactor = 12
 // reproduced result is the shape — coordinated checkpointing stops
 // progressing at a fault frequency where message logging still runs, and
 // causal logging tracks or beats pessimistic logging.
-func Fig01FaultResilience() *Table {
-	const np = 25
-	intervals := []sim.Time{0, 20 * sim.Second, 12 * sim.Second, 8 * sim.Second,
-		5 * sim.Second, 3 * sim.Second}
+func Fig01FaultResilience() *Table { return Fig01Report().Table }
+
+// Fig01Report runs Figure 1 as two sweeps: fault-free baselines first,
+// then the fault-frequency grid with each cell's divergence cap derived
+// from its stack's baseline.
+func Fig01Report() *Report {
+	stacks := hStacks(fig01Stacks)
+	base := fig01Spec("fig1-baseline", []harness.Variant{{Key: "fault-free"}}, nil)
+	baseRes := sweep(base)
+
+	baseline := make(map[string]sim.Time, len(stacks))
+	for _, st := range stacks {
+		baseline[st.Label] = baseRes.MustGet(fig01Workload().Key, st.Label, "fault-free").Elapsed
+	}
+
+	variants := make([]harness.Variant, len(fig01Intervals))
+	for i, interval := range fig01Intervals {
+		variants[i] = harness.Variant{
+			Key:        fmt.Sprintf("fault-every-%d", int64(interval)),
+			FaultEvery: interval,
+		}
+	}
+	faulted := fig01Spec("fig1-faulted", variants, func(c *harness.Cell) {
+		// The divergence cap is per stack: divergenceFactor times that
+		// stack's own fault-free duration.
+		c.MaxVirtual = baseline[c.Stack.Label] * divergenceFactor
+	})
+	faultedRes := sweep(faulted)
 
 	header := []string{"Faults/min"}
 	for _, sc := range fig01Stacks {
@@ -52,77 +81,65 @@ func Fig01FaultResilience() *Table {
 			"logging; causal stays at or below pessimistic",
 		},
 	}
-
-	baseline := make([]sim.Time, len(fig01Stacks))
-	for i, sc := range fig01Stacks {
-		baseline[i] = fig01Run(sc, np, 0, 0)
-	}
-
-	for _, interval := range intervals {
+	for i, interval := range fig01Intervals {
 		row := []string{faultsPerMinute(interval)}
-		for i, sc := range fig01Stacks {
-			elapsed := fig01Run(sc, np, interval, baseline[i]*divergenceFactor)
-			if elapsed < 0 {
+		for _, st := range stacks {
+			cr := faultedRes.Get(fig01Workload().Key, st.Label, variants[i].Key)
+			if cr == nil || cr.Err != "" || !cr.Completed {
 				row = append(row, "diverged")
 				continue
 			}
-			row = append(row, f1(100*float64(elapsed)/float64(baseline[i])))
+			row = append(row, f1(100*float64(cr.Elapsed)/float64(baseline[st.Label])))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return &Report{Name: "fig1", Table: t, Sweeps: []*harness.Results{baseRes, faultedRes}}
 }
 
-// fig01Run executes one BT.A point and returns the elapsed time, or -1 if
-// the run did not complete before cap (cap 0 = no faults, no cap needed).
-func fig01Run(sc stackConfig, np int, faultEvery, cap sim.Time) sim.Time {
-	in := fig01Instance(np)
-	cfg := cluster.Config{
-		NP:            np,
-		Stack:         sc.Stack,
-		Reducer:       sc.Reducer,
-		UseEL:         sc.UseEL,
-		CkptPolicy:    policyFor(sc),
-		CkptInterval:  ckptIntervalFor(sc, np),
-		RestartDelay:  250 * sim.Millisecond,
-		AppStateBytes: in.AppStateBytes,
+// fig01Spec assembles one Figure 1 sweep phase over the shared workload
+// and stack axes; tune (optional) runs after the per-stack checkpoint
+// configuration is applied.
+func fig01Spec(name string, variants []harness.Variant, tune func(*harness.Cell)) *harness.SweepSpec {
+	return &harness.SweepSpec{
+		Name:       name,
+		Workloads:  []harness.Workload{fig01Workload()},
+		Stacks:     hStacks(fig01Stacks),
+		Variants:   variants,
+		MaxVirtual: 100 * sim.Minute,
+		Tune: func(c *harness.Cell) {
+			c.Config.CkptPolicy = fig01PolicyFor(c.Stack.Stack)
+			c.Config.CkptInterval = fig01CkptInterval(c.Stack.Stack, c.Config.NP)
+			c.Config.RestartDelay = 250 * sim.Millisecond
+			if tune != nil {
+				tune(c)
+			}
+		},
 	}
-	c := cluster.New(cfg)
-	d := c.PrepareRun(in.Programs)
-	if faultEvery > 0 {
-		d.PeriodicFaults(faultEvery)
-	}
-	d.Launch()
-	if cap <= 0 {
-		cap = 100 * sim.Minute
-	}
-	end := c.K.RunUntil(cap)
-	if !d.AllDone() {
-		return -1
-	}
-	return end
 }
 
-// fig01Instance is BT.A lengthened 8x (so several faults land per run) with
-// the checkpoint image scaled to 1 MB per process, preserving the
+// fig01Workload is BT.A.25 lengthened 8x (so several faults land per run)
+// with the checkpoint image scaled to 1 MB per process, preserving the
 // checkpoint-cost-to-runtime ratio on the compressed timeline.
-func fig01Instance(np int) *workload.Instance {
-	in := workload.Build(workload.Spec{Bench: "bt", Class: "A", NP: np, IterScale: 8})
-	in.AppStateBytes = 1 << 20
-	return in
+func fig01Workload() harness.Workload {
+	return harness.Workload{
+		Key:           "bt.A.25x8",
+		Spec:          workload.Spec{Bench: "bt", Class: "A", NP: 25, IterScale: 8},
+		AppStateBytes: 1 << 20,
+	}
 }
 
-func policyFor(sc stackConfig) checkpoint.Policy {
-	if sc.Stack == cluster.StackCoordinated {
+func fig01PolicyFor(stack string) checkpoint.Policy {
+	if stack == cluster.StackCoordinated {
 		return checkpoint.PolicyCoordinated
 	}
 	return checkpoint.PolicyRoundRobin
 }
 
-// ckptIntervalFor gives every stack the same per-process checkpoint period.
-func ckptIntervalFor(sc stackConfig, np int) sim.Time {
+// fig01CkptInterval gives every stack the same per-process checkpoint
+// period.
+func fig01CkptInterval(stack string, np int) sim.Time {
 	const period = 10 * sim.Second
-	if sc.Stack == cluster.StackCoordinated {
+	if stack == cluster.StackCoordinated {
 		return period
 	}
 	return period / sim.Time(np)

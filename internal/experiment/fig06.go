@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"mpichv/internal/cluster"
-	"mpichv/internal/workload"
+	"mpichv/internal/harness"
 )
 
 // latencyStacks is Figure 6(a)'s protocol axis: the reference MPI, the raw
@@ -14,10 +14,22 @@ var latencyStacks = append([]stackConfig{
 	{"Vdummy", cluster.StackVdummy, "", false},
 }, causalStacks...)
 
+// fig06aReps is the ping-pong repetition count of the latency measurement.
+const fig06aReps = 500
+
 // Fig06aLatency reproduces Figure 6(a): one-way small-message latency of
 // every stack, measured by a 1-byte NetPIPE ping-pong.
-func Fig06aLatency() *Table {
-	const reps = 500
+func Fig06aLatency() *Table { return Fig06aReport().Table }
+
+// Fig06aReport runs Figure 6(a) as one sweep: stacks × a single 1-byte
+// ping-pong workload.
+func Fig06aReport() *Report {
+	wl := harness.Workload{Key: "pingpong.1B", PingPongBytes: 1, PingPongReps: fig06aReps}
+	res := sweep(&harness.SweepSpec{
+		Name:      "fig6a",
+		Workloads: []harness.Workload{wl},
+		Stacks:    hStacks(latencyStacks),
+	})
 	t := &Table{
 		Title:  "Figure 6(a): Ping-pong latency over Ethernet 100Mbit/s (µs, one-way)",
 		Header: []string{"MPI implementation", "Latency (µs)"},
@@ -27,31 +39,50 @@ func Fig06aLatency() *Table {
 		},
 	}
 	for _, sc := range latencyStacks {
-		in := workload.BuildPingPong(1, reps)
-		res := run(in, sc, runOpts{})
-		oneWay := res.Elapsed.Microseconds() / (2 * reps)
+		cr := res.MustGet(wl.Key, sc.Label, "base")
+		oneWay := cr.Elapsed.Microseconds() / (2 * fig06aReps)
 		t.AddRow(sc.Label, f2(oneWay))
 	}
-	return t
+	return &Report{Name: "fig6a", Table: t, Sweeps: []*harness.Results{res}}
 }
 
 // BandwidthSizes is the message-size sweep of Figure 6(b).
 var BandwidthSizes = []int{1, 64, 1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20}
 
+// fig06bStacks is Figure 6(b)'s protocol axis.
+var fig06bStacks = []stackConfig{
+	{"RAW TCP", cluster.StackRawTCP, "", false},
+	{"MPICH-P4", cluster.StackP4, "", false},
+	{"MPICH-Vdummy", cluster.StackVdummy, "", false},
+	{"Vcausal (EL)", cluster.StackVcausal, "vcausal", true},
+	{"Manetho (EL)", cluster.StackVcausal, "manetho", true},
+	{"Manetho (no EL)", cluster.StackVcausal, "manetho", false},
+	{"LogOn (no EL)", cluster.StackVcausal, "logon", false},
+}
+
 // Fig06bBandwidth reproduces Figure 6(b): ping-pong bandwidth versus
 // message size for raw TCP, P4, Vdummy and the causal variants.
-func Fig06bBandwidth() *Table {
-	stacks := []stackConfig{
-		{"RAW TCP", cluster.StackRawTCP, "", false},
-		{"MPICH-P4", cluster.StackP4, "", false},
-		{"MPICH-Vdummy", cluster.StackVdummy, "", false},
-		{"Vcausal (EL)", cluster.StackVcausal, "vcausal", true},
-		{"Manetho (EL)", cluster.StackVcausal, "manetho", true},
-		{"Manetho (no EL)", cluster.StackVcausal, "manetho", false},
-		{"LogOn (no EL)", cluster.StackVcausal, "logon", false},
+func Fig06bBandwidth() *Table { return Fig06bReport().Table }
+
+// Fig06bReport runs Figure 6(b) as one sweep: stacks × one ping-pong
+// workload per message size.
+func Fig06bReport() *Report {
+	workloads := make([]harness.Workload, len(BandwidthSizes))
+	for i, size := range BandwidthSizes {
+		workloads[i] = harness.Workload{
+			Key:           sizeLabel(size),
+			PingPongBytes: size,
+			PingPongReps:  fig06bReps(size),
+		}
 	}
+	res := sweep(&harness.SweepSpec{
+		Name:      "fig6b",
+		Workloads: workloads,
+		Stacks:    hStacks(fig06bStacks),
+	})
+
 	header := []string{"Message size"}
-	for _, sc := range stacks {
+	for _, sc := range fig06bStacks {
 		header = append(header, sc.Label)
 	}
 	t := &Table{
@@ -62,22 +93,25 @@ func Fig06bBandwidth() *Table {
 			"below Vdummy; EL vs no-EL indistinguishable at large sizes",
 		},
 	}
-	for _, size := range BandwidthSizes {
-		reps := 50
-		if size >= 1<<20 {
-			reps = 8
-		}
+	for i, size := range BandwidthSizes {
 		row := []string{sizeLabel(size)}
-		for _, sc := range stacks {
-			in := workload.BuildPingPong(size, reps)
-			res := run(in, sc, runOpts{})
-			bits := float64(size) * 8 * float64(2*reps)
-			mbps := bits / res.Elapsed.Seconds() / 1e6
+		for _, sc := range fig06bStacks {
+			cr := res.MustGet(workloads[i].Key, sc.Label, "base")
+			bits := float64(size) * 8 * float64(2*fig06bReps(size))
+			mbps := bits / cr.Elapsed.Seconds() / 1e6
 			row = append(row, f2(mbps))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return &Report{Name: "fig6b", Table: t, Sweeps: []*harness.Results{res}}
+}
+
+// fig06bReps shortens the ping-pong at large message sizes.
+func fig06bReps(size int) int {
+	if size >= 1<<20 {
+		return 8
+	}
+	return 50
 }
 
 func sizeLabel(b int) string {

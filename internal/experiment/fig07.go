@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"mpichv/internal/harness"
 	"mpichv/internal/workload"
 )
 
@@ -19,7 +20,15 @@ var fig07Specs = []workload.Spec{
 // data exchanged during BT, CG and LU class A, as a percentage of the total
 // application data, for the three reduction techniques with and without
 // Event Logger.
-func Fig07PiggybackSize() *Table {
+func Fig07PiggybackSize() *Table { return Fig07Report().Table }
+
+// Fig07Report runs Figure 7 as one sweep: benchmarks × causal stacks.
+func Fig07Report() *Report {
+	res := sweep(&harness.SweepSpec{
+		Name:      "fig7",
+		Workloads: nasWorkloads(fig07Specs),
+		Stacks:    hStacks(causalStacks),
+	})
 	header := []string{"Benchmark", "#proc"}
 	for _, sc := range causalStacks {
 		header = append(header, sc.Label)
@@ -36,11 +45,10 @@ func Fig07PiggybackSize() *Table {
 	for _, spec := range fig07Specs {
 		row := []string{spec.Bench + "." + spec.Class, fmt.Sprintf("%d", spec.NP)}
 		for _, sc := range causalStacks {
-			in := workload.Build(spec)
-			res := run(in, sc, runOpts{})
-			row = append(row, pct(res.Stats.PiggybackShare()))
+			cr := res.MustGet(spec.String(), sc.Label, "base")
+			row = append(row, pct(cr.Stats.PiggybackShare()))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return &Report{Name: "fig7", Table: t, Sweeps: []*harness.Results{res}}
 }

@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
+	"mpichv/internal/harness"
 	"mpichv/internal/sim"
 	"mpichv/internal/workload"
 )
@@ -18,10 +20,26 @@ var fig08Specs = []workload.Spec{
 	{Bench: "ft", Class: "A", NP: 8}, {Bench: "ft", Class: "A", NP: 16},
 }
 
+// fig08Sweep runs the Figure 8 grid (benchmarks × causal stacks) once per
+// process: 8(a) and 8(b) are two renderings of the same 90 deterministic
+// cells, so regenerating both shares one sweep instead of simulating the
+// grid twice.
+var fig08Sweep = sync.OnceValue(func() *harness.Results {
+	return sweep(&harness.SweepSpec{
+		Name:      "fig8",
+		Workloads: nasWorkloads(fig08Specs),
+		Stacks:    hStacks(causalStacks),
+	})
+})
+
 // Fig08aPiggybackTime reproduces Figure 8(a): cumulative virtual CPU time
 // spent preparing piggybacks at send and integrating them at receive, per
 // protocol, with and without Event Logger (seconds; send/recv split).
-func Fig08aPiggybackTime() *Table {
+func Fig08aPiggybackTime() *Table { return Fig08aReport().Table }
+
+// Fig08aReport runs Figure 8(a) through the sweep harness.
+func Fig08aReport() *Report {
+	res := fig08Sweep()
 	header := []string{"Benchmark", "#proc"}
 	for _, sc := range causalStacks {
 		header = append(header, sc.Label+" send", sc.Label+" recv")
@@ -38,20 +56,23 @@ func Fig08aPiggybackTime() *Table {
 	for _, spec := range fig08Specs {
 		row := []string{spec.Bench + "." + spec.Class, fmt.Sprintf("%d", spec.NP)}
 		for _, sc := range causalStacks {
-			in := workload.Build(spec)
-			res := run(in, sc, runOpts{})
+			cr := res.MustGet(spec.String(), sc.Label, "base")
 			row = append(row,
-				fmt.Sprintf("%.4g", res.Stats.SendPiggybackTime.Seconds()),
-				fmt.Sprintf("%.4g", res.Stats.RecvPiggybackTime.Seconds()))
+				fmt.Sprintf("%.4g", cr.Stats.SendPiggybackTime.Seconds()),
+				fmt.Sprintf("%.4g", cr.Stats.RecvPiggybackTime.Seconds()))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return &Report{Name: "fig8a", Table: t, Sweeps: []*harness.Results{res}}
 }
 
 // Fig08bPiggybackShare reproduces Figure 8(b): causality-management time as
 // a percentage of total execution time.
-func Fig08bPiggybackShare() *Table {
+func Fig08bPiggybackShare() *Table { return Fig08bReport().Table }
+
+// Fig08bReport runs Figure 8(b) through the sweep harness.
+func Fig08bReport() *Report {
+	res := fig08Sweep()
 	header := []string{"Benchmark", "#proc"}
 	for _, sc := range causalStacks {
 		header = append(header, sc.Label)
@@ -67,13 +88,12 @@ func Fig08bPiggybackShare() *Table {
 	for _, spec := range fig08Specs {
 		row := []string{spec.Bench + "." + spec.Class, fmt.Sprintf("%d", spec.NP)}
 		for _, sc := range causalStacks {
-			in := workload.Build(spec)
-			res := run(in, sc, runOpts{})
-			total := res.Elapsed * sim.Time(spec.NP)
-			share := float64(res.Stats.SendPiggybackTime+res.Stats.RecvPiggybackTime) / float64(total)
+			cr := res.MustGet(spec.String(), sc.Label, "base")
+			total := cr.Elapsed * sim.Time(spec.NP)
+			share := float64(cr.Stats.SendPiggybackTime+cr.Stats.RecvPiggybackTime) / float64(total)
 			row = append(row, pct(share))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return &Report{Name: "fig8b", Table: t, Sweeps: []*harness.Results{res}}
 }

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"mpichv/internal/harness"
 	"mpichv/internal/workload"
 )
 
@@ -22,10 +23,31 @@ var fig09Groups = []struct {
 	{"ft", "A", []int{2, 4, 8, 16}},
 }
 
+// fig09Specs flattens the panels into the sweep's workload axis.
+func fig09Specs() []workload.Spec {
+	var specs []workload.Spec
+	for _, g := range fig09Groups {
+		for _, np := range g.NPs {
+			specs = append(specs, workload.Spec{Bench: g.Bench, Class: g.Class, NP: np})
+		}
+	}
+	return specs
+}
+
 // Fig09NAS reproduces Figure 9: NAS benchmark performance (Mflop/s) for
 // MPICH-P4, MPICH-Vdummy and the three causal protocols with and without
 // Event Logger.
-func Fig09NAS() *Table {
+func Fig09NAS() *Table { return Fig09Report().Table }
+
+// Fig09Report runs Figure 9 as one sweep: the full NAS panel grid × every
+// stack — the largest grid of the evaluation (27 workloads × 8 stacks).
+func Fig09Report() *Report {
+	specs := fig09Specs()
+	res := sweep(&harness.SweepSpec{
+		Name:      "fig9",
+		Workloads: nasWorkloads(specs),
+		Stacks:    hStacks(allStacks),
+	})
 	header := []string{"Benchmark", "#proc"}
 	for _, sc := range allStacks {
 		header = append(header, sc.Label)
@@ -39,17 +61,13 @@ func Fig09NAS() *Table {
 			"Vdummy can beat P4 where the pattern exploits full-duplex links",
 		},
 	}
-	for _, g := range fig09Groups {
-		for _, np := range g.NPs {
-			spec := workload.Spec{Bench: g.Bench, Class: g.Class, NP: np}
-			row := []string{g.Bench + "." + g.Class, fmt.Sprintf("%d", np)}
-			for _, sc := range allStacks {
-				in := workload.Build(spec)
-				res := run(in, sc, runOpts{})
-				row = append(row, f1(in.Mflops(res.Elapsed)))
-			}
-			t.AddRow(row...)
+	for _, spec := range specs {
+		row := []string{spec.Bench + "." + spec.Class, fmt.Sprintf("%d", spec.NP)}
+		for _, sc := range allStacks {
+			cr := res.MustGet(spec.String(), sc.Label, "base")
+			row = append(row, f1(cr.Mflops))
 		}
+		t.AddRow(row...)
 	}
-	return t
+	return &Report{Name: "fig9", Table: t, Sweeps: []*harness.Results{res}}
 }

@@ -5,6 +5,7 @@ import (
 
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
+	"mpichv/internal/harness"
 	"mpichv/internal/sim"
 	"mpichv/internal/workload"
 )
@@ -19,11 +20,62 @@ var fig10Groups = []struct {
 	{"lu", "A", []int{2, 4, 8, 16}},
 }
 
+// fig10Stacks is the Vcausal protocol with and without the Event Logger.
+var fig10Stacks = []stackConfig{
+	{"with EL", cluster.StackVcausal, "vcausal", true},
+	{"without EL", cluster.StackVcausal, "vcausal", false},
+}
+
+// fig10Specs flattens the grids into the sweep's workload axis.
+func fig10Specs() []workload.Spec {
+	var specs []workload.Spec
+	for _, g := range fig10Groups {
+		for _, np := range g.NPs {
+			specs = append(specs, workload.Spec{Bench: g.Bench, Class: g.Class, NP: np})
+		}
+	}
+	return specs
+}
+
 // Fig10Recovery reproduces Figure 10: the time (in milliseconds) to recover
 // all determinants to replay when restarting rank 0 from the middle of the
 // run, with the Event Logger (one query) and without it (reclaiming events
 // from every surviving node).
-func Fig10Recovery() *Table {
+func Fig10Recovery() *Table { return Fig10Report().Table }
+
+// Fig10Report runs Figure 10 as two sweeps: fault-free runs locate each
+// cell's midpoint, then the crash grid kills rank 0 there and probes the
+// measured determinant-collection time. No checkpoints are scheduled: the
+// restarted process reclaims its complete event history, which is exactly
+// the quantity Figure 10 reports ("time to recover all events to replay").
+func Fig10Report() *Report {
+	specs := fig10Specs()
+	workloads := nasWorkloads(specs)
+	stacks := hStacks(fig10Stacks)
+
+	free := sweep(&harness.SweepSpec{
+		Name:      "fig10-baseline",
+		Workloads: workloads,
+		Stacks:    stacks,
+		Variants:  []harness.Variant{{Key: "fault-free"}},
+	})
+
+	crashed := sweep(&harness.SweepSpec{
+		Name:      "fig10-crash",
+		Workloads: workloads,
+		Stacks:    stacks,
+		Variants: []harness.Variant{{
+			Key:          "mid-crash",
+			CkptPolicy:   checkpoint.PolicyNone,
+			RestartDelay: 100 * sim.Millisecond,
+		}},
+		Probes: []string{harness.ProbeRecoveryEventNs},
+		Tune: func(c *harness.Cell) {
+			// Kill rank 0 at the midpoint of this cell's fault-free run.
+			c.FaultAt = free.MustGet(c.Workload.Key, c.Stack.Label, "fault-free").Elapsed / 2
+		},
+	})
+
 	t := &Table{
 		Title:  "Figure 10: Time to recover all events to replay, Vcausal (milliseconds)",
 		Header: []string{"Benchmark", "#proc", "with EL", "without EL", "EL/noEL"},
@@ -33,36 +85,16 @@ func Fig10Recovery() *Table {
 			"(paper CG: +18.7% from 2→16 nodes with EL versus +930% without)",
 		},
 	}
-	for _, g := range fig10Groups {
-		for _, np := range g.NPs {
-			spec := workload.Spec{Bench: g.Bench, Class: g.Class, NP: np}
-			row := []string{g.Bench + "." + g.Class, fmt.Sprintf("%d", np)}
-			var both [2]sim.Time
-			for i, useEL := range []bool{true, false} {
-				both[i] = recoverEventTime(spec, useEL)
-				row = append(row, fmt.Sprintf("%.3f", both[i].Milliseconds()))
-			}
-			row = append(row, pct(float64(both[0])/float64(both[1])))
-			t.AddRow(row...)
+	for _, spec := range specs {
+		row := []string{spec.Bench + "." + spec.Class, fmt.Sprintf("%d", spec.NP)}
+		var both [2]float64
+		for i, sc := range fig10Stacks {
+			cr := crashed.MustGet(spec.String(), sc.Label, "mid-crash")
+			both[i] = cr.Probes[harness.ProbeRecoveryEventNs]
+			row = append(row, fmt.Sprintf("%.3f", both[i]/float64(sim.Millisecond)))
 		}
+		row = append(row, pct(both[0]/both[1]))
+		t.AddRow(row...)
 	}
-	return t
-}
-
-// recoverEventTime runs one instance, kills rank 0 mid-run, and returns the
-// measured determinant-collection time. No checkpoints are scheduled: the
-// restarted process reclaims its complete event history, which is exactly
-// the quantity Figure 10 reports ("time to recover all events to replay").
-func recoverEventTime(spec workload.Spec, useEL bool) sim.Time {
-	sc := stackConfig{Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: useEL}
-
-	// First a fault-free run to locate the midpoint.
-	free := run(workload.Build(spec), sc, runOpts{})
-
-	res := run(workload.Build(spec), sc, runOpts{
-		CkptPolicy:   checkpoint.PolicyNone,
-		FaultAt:      free.Elapsed / 2,
-		RestartDelay: 100 * sim.Millisecond,
-	})
-	return res.Cluster.Nodes[0].Stats().RecoveryEventCollection
+	return &Report{Name: "fig10", Table: t, Sweeps: []*harness.Results{free, crashed}}
 }

@@ -1,0 +1,38 @@
+package experiment
+
+import "mpichv/internal/harness"
+
+// Report is one experiment artifact: the paper-style table plus the raw
+// sweep results (one per phase) it was rendered from, for machine-readable
+// export.
+type Report struct {
+	Name   string
+	Table  *Table
+	Sweeps []*harness.Results
+}
+
+// Index maps experiment names to their report generators, in no
+// particular order; Names gives the paper's presentation order.
+func Index() map[string]func() *Report {
+	return map[string]func() *Report{
+		"fig1":        Fig01Report,
+		"fig6a":       Fig06aReport,
+		"fig6b":       Fig06bReport,
+		"fig7":        Fig07Report,
+		"fig8a":       Fig08aReport,
+		"fig8b":       Fig08bReport,
+		"fig9":        Fig09Report,
+		"fig10":       Fig10Report,
+		"ext-el":      ExtDistributedELReport,
+		"ext-elsweep": ExtELServiceSweepReport,
+		"ext-sched":   ExtSchedulerPoliciesReport,
+		"ext-duplex":  ExtDuplexAblationReport,
+	}
+}
+
+// Names returns the experiment names in the paper's order, followed by the
+// reproduction's extension experiments.
+func Names() []string {
+	return []string{"fig1", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9", "fig10",
+		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex"}
+}

@@ -1,10 +1,8 @@
 package experiment
 
 import (
-	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
-	"mpichv/internal/sim"
-	"mpichv/internal/trace"
+	"mpichv/internal/harness"
 	"mpichv/internal/workload"
 )
 
@@ -32,47 +30,36 @@ var (
 	}, causalStacks...)
 )
 
-// result is one benchmark execution's outcome.
-type result struct {
-	Elapsed sim.Time
-	Stats   trace.Stats
-	Cluster *cluster.Cluster
+// hStacks converts a figure's protocol axis into harness form; the label
+// doubles as the lookup key.
+func hStacks(scs []stackConfig) []harness.Stack {
+	out := make([]harness.Stack, len(scs))
+	for i, sc := range scs {
+		out[i] = harness.Stack{Label: sc.Label, Stack: sc.Stack, Reducer: sc.Reducer, UseEL: sc.UseEL}
+	}
+	return out
 }
 
-// runOpts tune a benchmark execution.
-type runOpts struct {
-	CkptPolicy   checkpoint.Policy
-	CkptInterval sim.Time
-	FaultAt      sim.Time // kill rank 0 at this time (0 = no fault)
-	FaultEvery   sim.Time // periodic faults (0 = none)
-	RestartDelay sim.Time
-	Seed         int64
+// nasWorkloads converts NAS specs into harness form, keyed "bench.Class.NP".
+func nasWorkloads(specs []workload.Spec) []harness.Workload {
+	out := make([]harness.Workload, len(specs))
+	for i, spec := range specs {
+		out[i] = harness.Workload{Key: spec.String(), Spec: spec}
+	}
+	return out
 }
 
-// run executes one workload instance on one stack and returns the outcome.
-func run(in *workload.Instance, sc stackConfig, opts runOpts) result {
-	cfg := cluster.Config{
-		NP:           in.NP,
-		Stack:        sc.Stack,
-		Reducer:      sc.Reducer,
-		UseEL:        sc.UseEL,
-		CkptPolicy:   opts.CkptPolicy,
-		CkptInterval: opts.CkptInterval,
-		RestartDelay: opts.RestartDelay,
-		Seed:         opts.Seed,
-	}
-	if in.AppStateBytes > 0 {
-		cfg.AppStateBytes = in.AppStateBytes
-	}
-	c := cluster.New(cfg)
-	d := c.PrepareRun(in.Programs)
-	if opts.FaultAt > 0 {
-		d.ScheduleFault(opts.FaultAt, 0)
-	}
-	if opts.FaultEvery > 0 {
-		d.PeriodicFaults(opts.FaultEvery)
-	}
-	d.Launch()
-	end := c.RunLaunched(100 * sim.Minute * 60)
-	return result{Elapsed: end, Stats: c.AggregateStats(), Cluster: c}
-}
+// runnerOpts are the harness options every figure sweep runs with; the CLI
+// (and any other embedder) installs parallelism and progress reporting via
+// SetRunnerOptions before regenerating figures.
+var runnerOpts harness.Options
+
+// SetRunnerOptions installs the worker-pool options used by every figure
+// sweep (parallel width, cell timeout, progress and error callbacks).
+func SetRunnerOptions(o harness.Options) { runnerOpts = o }
+
+// RunnerOptions returns the currently installed sweep options.
+func RunnerOptions() harness.Options { return runnerOpts }
+
+// sweep executes one grid through the shared worker pool options.
+func sweep(spec *harness.SweepSpec) *harness.Results { return harness.Run(spec, runnerOpts) }

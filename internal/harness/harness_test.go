@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/workload"
+)
+
+// smallSpec is a fast grid exercising both axes and the probe machinery:
+// 2 workloads × 2 stacks × 2 variants = 8 cells.
+func smallSpec() *SweepSpec {
+	return &SweepSpec{
+		Name: "test-grid",
+		Workloads: []Workload{
+			{Key: "cg.A.2", Spec: workload.Spec{Bench: "cg", Class: "A", NP: 2}},
+			{Key: "pp", PingPongBytes: 1 << 10, PingPongReps: 50},
+		},
+		Stacks: []Stack{
+			{Key: "vc-el", Label: "Vcausal (EL)", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true},
+			{Key: "man", Label: "Manetho (no EL)", Stack: cluster.StackVcausal, Reducer: "manetho"},
+		},
+		Variants: []Variant{
+			{Key: "base"},
+			{Key: "seeded"},
+		},
+		BaseSeed: 42,
+		Probes:   []string{ProbeELBacklog},
+	}
+}
+
+func TestCellsExpansion(t *testing.T) {
+	spec := smallSpec()
+	cells := spec.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// Grid order: workloads outermost, variants innermost.
+	wantIDs := []string{
+		"cg.A.2|vc-el|base", "cg.A.2|vc-el|seeded",
+		"cg.A.2|man|base", "cg.A.2|man|seeded",
+		"pp|vc-el|base", "pp|vc-el|seeded",
+		"pp|man|base", "pp|man|seeded",
+	}
+	seen := map[int64]bool{}
+	for i, c := range cells {
+		if c.ID != wantIDs[i] {
+			t.Errorf("cell %d ID = %q, want %q", i, c.ID, wantIDs[i])
+		}
+		if c.Index != i {
+			t.Errorf("cell %d Index = %d", i, c.Index)
+		}
+		if c.Config.Seed == 0 {
+			t.Errorf("cell %q: BaseSeed set but Config.Seed is 0", c.ID)
+		}
+		if seen[c.Config.Seed] {
+			t.Errorf("cell %q: derived seed %d collides", c.ID, c.Config.Seed)
+		}
+		seen[c.Config.Seed] = true
+	}
+	// Seed derivation is deterministic.
+	again := spec.Cells()
+	for i := range cells {
+		if cells[i].Config.Seed != again[i].Config.Seed {
+			t.Errorf("cell %d seed not deterministic", i)
+		}
+	}
+	// Without BaseSeed, cells record the cluster default seed explicitly.
+	spec.BaseSeed = 0
+	for _, c := range spec.Cells() {
+		if c.Config.Seed != 1 {
+			t.Errorf("cell %q: Seed = %d without BaseSeed, want cluster default 1", c.ID, c.Config.Seed)
+		}
+	}
+}
+
+func TestDuplicateCellIDsPanic(t *testing.T) {
+	spec := smallSpec()
+	spec.Variants = []Variant{{Key: "same"}, {Key: "same"}}
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "duplicate cell ID") {
+			t.Fatalf("Cells() recover = %v, want duplicate-ID panic", r)
+		}
+	}()
+	spec.Cells()
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(7, "x|y|z")
+	if a != DeriveSeed(7, "x|y|z") {
+		t.Error("DeriveSeed not stable")
+	}
+	if a == DeriveSeed(8, "x|y|z") || a == DeriveSeed(7, "x|y|w") {
+		t.Error("DeriveSeed ignores an input")
+	}
+	if a <= 0 {
+		t.Errorf("DeriveSeed returned %d, want positive", a)
+	}
+}
+
+// TestDeterministicJSON: the same spec serializes byte-identically across
+// repeated parallel runs — the contract that makes BENCH/result snapshots
+// diffable.
+func TestDeterministicJSON(t *testing.T) {
+	run := func() []byte {
+		res := Run(smallSpec(), Options{Parallel: 4})
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return data
+	}
+	first := run()
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("JSON output differs between identical runs:\n%s\n---\n%s", first, second)
+	}
+}
+
+// TestParallelEqualsSequential: -parallel 1 and -parallel N produce
+// identical results cell-for-cell.
+func TestParallelEqualsSequential(t *testing.T) {
+	seq := Run(smallSpec(), Options{Parallel: 1})
+	par := Run(smallSpec(), Options{Parallel: 8})
+	seqJSON, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatal("parallel run differs from sequential run")
+	}
+	for i := range seq.Cells {
+		if seq.Cells[i].Err != "" {
+			t.Errorf("cell %q errored: %s", seq.Cells[i].ID, seq.Cells[i].Err)
+		}
+		if !seq.Cells[i].Completed {
+			t.Errorf("cell %q did not complete", seq.Cells[i].ID)
+		}
+	}
+}
+
+func TestProgressAndOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	res := Run(smallSpec(), Options{
+		Parallel: 4,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			events = append(events, p)
+			mu.Unlock()
+		},
+	})
+	if len(events) != len(res.Cells) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(res.Cells))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(res.Cells) {
+			t.Errorf("event %d: Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+	}
+	// Results are in grid order regardless of completion order.
+	for i, cr := range res.Cells {
+		if cr.Index != i {
+			t.Errorf("result %d has Index %d", i, cr.Index)
+		}
+	}
+	// Lookup by coordinates works.
+	if cr := res.Get("cg.A.2", "vc-el", "base"); cr == nil || cr.ID != "cg.A.2|vc-el|base" {
+		t.Error("Get by coordinates failed")
+	}
+	if res.Get("cg.A.2", "vc-el", "nope") != nil {
+		t.Error("Get returned a cell for unknown coordinates")
+	}
+}
+
+func TestProbesCollected(t *testing.T) {
+	res := Run(smallSpec(), Options{Parallel: 2})
+	cr := res.MustGet("cg.A.2", "vc-el", "base")
+	if _, ok := cr.Probes[ProbeELBacklog]; !ok {
+		t.Error("EL backlog probe missing")
+	}
+	// No-EL stack still reports the probe (as zero).
+	if v := res.MustGet("cg.A.2", "man", "base").Probes[ProbeELBacklog]; v != 0 {
+		t.Errorf("no-EL backlog = %v, want 0", v)
+	}
+}
+
+// TestCellPanicBecomesError: a broken cell records its failure and the
+// rest of the sweep completes.
+func TestCellPanicBecomesError(t *testing.T) {
+	var cellErrs []CellError
+	spec := &SweepSpec{
+		Name:      "bad-stack",
+		Workloads: []Workload{{Key: "cg.A.2", Spec: workload.Spec{Bench: "cg", Class: "A", NP: 2}}},
+		Stacks: []Stack{
+			{Key: "bogus", Stack: "no-such-stack"},
+			{Key: "ok", Stack: cluster.StackVdummy},
+		},
+	}
+	res := Run(spec, Options{OnError: func(e CellError) { cellErrs = append(cellErrs, e) }})
+	bad := res.Get("cg.A.2", "bogus", "base")
+	if bad == nil || !strings.Contains(bad.Err, "unknown stack") {
+		t.Fatalf("bogus cell error = %q, want unknown-stack panic", bad.Err)
+	}
+	if len(cellErrs) != 1 || cellErrs[0].Cell.ID != bad.ID {
+		t.Errorf("OnError got %v, want exactly the bogus cell", cellErrs)
+	}
+	if ok := res.Get("cg.A.2", "ok", "base"); ok == nil || !ok.Completed || ok.Err != "" {
+		t.Error("healthy cell should complete despite a sibling panic")
+	}
+	if errs := res.Errs(); len(errs) != 1 {
+		t.Errorf("Errs() = %v, want 1 error", errs)
+	}
+}
+
+// TestCellTimeout: a wall-clock-bounded cell is abandoned and reported as
+// errored instead of stalling the sweep.
+func TestCellTimeout(t *testing.T) {
+	spec := &SweepSpec{
+		Name:      "timeout",
+		Workloads: []Workload{{Key: "pp-long", PingPongBytes: 1, PingPongReps: 2_000_000}},
+		Stacks:    []Stack{{Key: "vc", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true}},
+	}
+	res := Run(spec, Options{CellTimeout: time.Millisecond})
+	cr := res.Get("pp-long", "vc", "base")
+	if cr == nil || !strings.Contains(cr.Err, "timed out") {
+		t.Fatalf("cell result = %+v, want wall-clock timeout error", cr)
+	}
+	if cr.Completed {
+		t.Error("timed-out cell marked completed")
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	res := Run(smallSpec(), Options{Parallel: 2})
+	out, err := res.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(res.Cells) {
+		t.Fatalf("CSV has %d lines, want header + %d cells", len(lines), len(res.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "sweep,index,id,workload,stack,variant,np,seed,completed,elapsed_ns,mflops") {
+		t.Errorf("unexpected CSV header: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], ProbeELBacklog) {
+		t.Errorf("CSV header missing probe column: %s", lines[0])
+	}
+	// Determinism extends to CSV.
+	again, err := Run(smallSpec(), Options{Parallel: 1}).CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Error("CSV output differs between runs")
+	}
+}
+
+// TestTuneHook: the cross-axis escape hatch sees and can adjust every
+// cell.
+func TestTuneHook(t *testing.T) {
+	spec := smallSpec()
+	spec.Tune = func(c *Cell) {
+		if c.Stack.Key == "man" {
+			c.Config.RestartDelay = 123
+		}
+	}
+	for _, c := range spec.Cells() {
+		want := int64(0)
+		if c.Stack.Key == "man" {
+			want = 123
+		}
+		if int64(c.Config.RestartDelay) != want {
+			t.Errorf("cell %q RestartDelay = %d, want %d", c.ID, c.Config.RestartDelay, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+
+	"mpichv/internal/cluster"
+)
+
+// Named probes collectable per cell via SweepSpec.Probes. Probes read
+// cluster state that the aggregate Stats cannot express (a server-side
+// high-water mark, a single rank's recovery timer).
+const (
+	// ProbeELBacklog is the worst request backlog across the Event Logger
+	// group (0 when no logger is deployed).
+	ProbeELBacklog = "el_max_backlog"
+	// ProbeRecoveryEventNs is rank 0's determinant-collection time during
+	// recovery, in virtual nanoseconds (Figure 10's quantity).
+	ProbeRecoveryEventNs = "rank0_recovery_event_ns"
+)
+
+// probeFuncs maps probe names to their collectors.
+var probeFuncs = map[string]func(*cluster.Cluster) float64{
+	ProbeELBacklog: func(c *cluster.Cluster) float64 {
+		if c.ELGroup == nil {
+			return 0
+		}
+		return float64(c.ELGroup.MaxQueueLen())
+	},
+	ProbeRecoveryEventNs: func(c *cluster.Cluster) float64 {
+		return float64(c.Nodes[0].Stats().RecoveryEventCollection)
+	},
+}
+
+// probe evaluates one named probe against a finished cluster.
+func probe(name string, c *cluster.Cluster) (float64, error) {
+	fn, ok := probeFuncs[name]
+	if !ok {
+		return 0, fmt.Errorf("harness: unknown probe %q", name)
+	}
+	return fn(c), nil
+}

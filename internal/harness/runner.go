@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/sim"
+)
+
+// Options tune a sweep execution. The zero value runs with a worker per
+// CPU, no cell timeout and no callbacks.
+type Options struct {
+	// Parallel is the worker-pool size; <= 0 selects GOMAXPROCS. Each
+	// worker runs one cell at a time; cells are independent simulations,
+	// so -parallel 1 and -parallel N produce identical results.
+	Parallel int
+
+	// CellTimeout is a wall-clock guard per cell. A watchdog inside the
+	// simulation stops the kernel at the first event past the deadline,
+	// so an over-budget cell frees both its worker slot and its CPU; the
+	// cell is recorded as errored. Zero disables the guard.
+	CellTimeout time.Duration
+
+	// OnProgress, when non-nil, is invoked after every cell completes.
+	// It may be called from multiple workers; calls are serialized.
+	OnProgress func(Progress)
+
+	// OnError, when non-nil, receives every cell failure as it happens
+	// (also recorded in the cell's result). Calls are serialized.
+	OnError func(CellError)
+}
+
+// Progress reports one completed cell to the progress callback.
+type Progress struct {
+	Sweep  string
+	Done   int // cells finished so far, including this one
+	Total  int
+	Cell   *Cell
+	Result *CellResult
+	Wall   time.Duration // wall-clock time of this cell
+}
+
+// CellError identifies one failed cell.
+type CellError struct {
+	Sweep string
+	Cell  *Cell
+	Err   error
+}
+
+func (e CellError) Error() string {
+	return fmt.Sprintf("%s: cell %q: %v", e.Sweep, e.Cell.ID, e.Err)
+}
+
+// Run expands the spec and executes every cell across the worker pool,
+// returning results in cell (grid) order regardless of completion order.
+func Run(spec *SweepSpec, opts Options) *Results {
+	cells := spec.Cells()
+	res := &Results{Name: spec.Name, Cells: make([]CellResult, len(cells))}
+
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu   sync.Mutex // serializes callbacks and the done counter
+		done int
+		wg   sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				cell := &cells[idx]
+				start := time.Now()
+				cr := executeWithTimeout(cell, opts.CellTimeout)
+				wall := time.Since(start)
+				res.Cells[idx] = cr
+
+				mu.Lock()
+				done++
+				if cr.Err != "" && opts.OnError != nil {
+					opts.OnError(CellError{Sweep: spec.Name, Cell: cell, Err: fmt.Errorf("%s", cr.Err)})
+				}
+				if opts.OnProgress != nil {
+					opts.OnProgress(Progress{
+						Sweep: spec.Name, Done: done, Total: len(cells),
+						Cell: cell, Result: &res.Cells[idx], Wall: wall,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for idx := range cells {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	res.index()
+	return res
+}
+
+// watchdogGrace is how long the runner waits past the deadline for the
+// in-simulation watchdog to unwind the kernel before abandoning the
+// goroutine (the backstop for a kernel stuck inside one event).
+const watchdogGrace = 2 * time.Second
+
+// executeWithTimeout runs one cell, optionally bounded by a wall-clock
+// deadline.
+func executeWithTimeout(cell *Cell, timeout time.Duration) CellResult {
+	if timeout <= 0 {
+		return execute(cell, time.Time{}, 0)
+	}
+	deadline := time.Now().Add(timeout)
+	ch := make(chan CellResult, 1)
+	go func() { ch <- execute(cell, deadline, timeout) }()
+	select {
+	case cr := <-ch:
+		return cr
+	case <-time.After(time.Until(deadline) + watchdogGrace):
+		cr := newCellResult(cell)
+		cr.Err = fmt.Sprintf("cell timed out after %v (wall clock) and its kernel did not stop", timeout)
+		return cr
+	}
+}
+
+// execute runs one cell's simulation to completion (or its virtual-time
+// cap, or the wall-clock deadline) and collects stats and probes.
+// Simulation panics — deadlocks, configuration errors — are captured as
+// the cell's error rather than tearing down the whole sweep.
+func execute(cell *Cell, deadline time.Time, timeout time.Duration) (cr CellResult) {
+	cr = newCellResult(cell)
+	defer func() {
+		if r := recover(); r != nil {
+			cr.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	in := cell.Workload.Build()
+	cfg := cell.Config
+	if in.AppStateBytes > 0 {
+		cfg.AppStateBytes = in.AppStateBytes
+	}
+	c := cluster.New(cfg)
+	d := c.PrepareRun(in.Programs)
+	if cell.FaultAt > 0 {
+		d.ScheduleFault(cell.FaultAt, 0)
+	}
+	if cell.FaultEvery > 0 {
+		d.PeriodicFaults(cell.FaultEvery)
+	}
+	if !deadline.IsZero() {
+		// A periodic kernel event checks the wall clock from simulator
+		// context — the only place the single-threaded kernel may be
+		// stopped — so a timed-out cell releases its CPU instead of
+		// running to the virtual cap. The watchdog touches no simulated
+		// state and draws no randomness, so a run that finishes under
+		// the deadline is identical to an unguarded one.
+		const watchPeriod = 10 * sim.Millisecond
+		var watch func()
+		watch = func() {
+			if time.Now().After(deadline) {
+				c.K.Stop()
+				return
+			}
+			c.K.At(c.K.Now()+watchPeriod, watch)
+		}
+		c.K.At(watchPeriod, watch)
+	}
+	d.Launch()
+	end := c.K.RunUntil(cell.MaxVirtual)
+
+	cr.Completed = d.AllDone()
+	if !cr.Completed && !deadline.IsZero() && time.Now().After(deadline) {
+		cr.Err = fmt.Sprintf("cell timed out after %v (wall clock)", timeout)
+	}
+	cr.Elapsed = end
+	cr.Stats = c.AggregateStats()
+	if cr.Completed {
+		cr.Mflops = in.Mflops(end)
+	}
+	if len(cell.Probes) > 0 {
+		cr.Probes = make(map[string]float64, len(cell.Probes))
+		for _, name := range cell.Probes {
+			v, err := probe(name, c)
+			if err != nil {
+				cr.Err = err.Error()
+				continue
+			}
+			cr.Probes[name] = v
+		}
+	}
+	return cr
+}

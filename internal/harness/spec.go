@@ -1,0 +1,270 @@
+// Package harness executes declarative experiment sweeps. A SweepSpec
+// names a cartesian grid of simulation cells — workload × protocol stack ×
+// variant — with deterministic per-cell seed derivation; a worker-pool
+// Runner executes the cells concurrently (each cell is one single-threaded,
+// fully independent cluster simulation) with ordered result collection,
+// progress callbacks and cell-level timeouts; the Results model serializes
+// to JSON and CSV for downstream tooling, alongside the experiment
+// package's paper-style text tables.
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/eventlogger"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/workload"
+)
+
+// Stack is one point of the protocol axis: a communication stack plus the
+// causal-reduction and Event Logger choices that go with it.
+type Stack struct {
+	// Key is the stable identifier used in cell IDs and result lookups;
+	// empty defaults to Label.
+	Key string
+	// Label is the human-readable column/row name.
+	Label string
+	// Stack is the cluster stack name (cluster.Stack*).
+	Stack string
+	// Reducer selects the piggyback reduction for cluster.StackVcausal.
+	Reducer string
+	// UseEL deploys the Event Logger.
+	UseEL bool
+}
+
+func (s Stack) key() string {
+	if s.Key != "" {
+		return s.Key
+	}
+	return s.Label
+}
+
+// Workload is one point of the application axis: a NAS skeleton spec
+// (Spec.Bench != "") or a NetPIPE ping-pong.
+type Workload struct {
+	// Key is the stable identifier; empty defaults to the spec string
+	// ("bt.A.9") or "pingpong.<bytes>x<reps>".
+	Key string
+	// Spec names a NAS skeleton instance.
+	Spec workload.Spec
+	// PingPongBytes/PingPongReps select the NetPIPE benchmark instead.
+	PingPongBytes int
+	PingPongReps  int
+	// AppStateBytes overrides the instance's checkpoint image size (0
+	// keeps the benchmark's own value).
+	AppStateBytes int64
+}
+
+func (w Workload) key() string {
+	if w.Key != "" {
+		return w.Key
+	}
+	if w.Spec.Bench != "" {
+		return w.Spec.String()
+	}
+	return fmt.Sprintf("pingpong.%dx%d", w.PingPongBytes, w.PingPongReps)
+}
+
+// NP returns the process count the workload deploys on.
+func (w Workload) NP() int {
+	if w.Spec.Bench != "" {
+		return w.Spec.NP
+	}
+	return 2
+}
+
+// Build constructs a fresh runnable instance. Instances hold per-run
+// program state, so every cell execution builds its own.
+func (w Workload) Build() *workload.Instance {
+	var in *workload.Instance
+	if w.Spec.Bench != "" {
+		in = workload.Build(w.Spec)
+	} else {
+		in = workload.BuildPingPong(w.PingPongBytes, w.PingPongReps)
+	}
+	if w.AppStateBytes > 0 {
+		in.AppStateBytes = w.AppStateBytes
+	}
+	return in
+}
+
+// Variant is one point of the remaining configuration axis: checkpoint
+// policy, fault schedule, Event Logger deployment and service model, and
+// the wire model. The zero value is the fault-free default deployment.
+type Variant struct {
+	// Key is the stable identifier; empty defaults to "base".
+	Key string
+
+	// Checkpoint scheduler configuration.
+	CkptPolicy   checkpoint.Policy
+	CkptInterval sim.Time
+
+	// Fault schedule: kill rank 0 once at FaultAt, or kill round-robin
+	// every FaultEvery (either may be zero).
+	FaultAt    sim.Time
+	FaultEvery sim.Time
+	// RestartDelay models detection plus relaunch (0 = cluster default).
+	RestartDelay sim.Time
+
+	// Event Logger deployment and service model overrides.
+	EventLoggers int
+	ELSync       eventlogger.SyncPolicy
+	EL           eventlogger.Config
+
+	// Net overrides the wire model (nil = Fast Ethernet).
+	Net *netmodel.Config
+
+	// MaxVirtual caps this variant's virtual run time (0 = spec default).
+	MaxVirtual sim.Time
+}
+
+func (v Variant) key() string {
+	if v.Key != "" {
+		return v.Key
+	}
+	return "base"
+}
+
+// Cell is one fully resolved grid point: everything a worker needs to run
+// a single simulation.
+type Cell struct {
+	Index    int
+	ID       string
+	Workload Workload
+	Stack    Stack
+	Variant  Variant
+	// Config is the resolved deployment. AppStateBytes is left to the
+	// built instance unless the workload overrides it.
+	Config cluster.Config
+	// Fault schedule (copied from the variant; Tune may adjust it).
+	FaultAt    sim.Time
+	FaultEvery sim.Time
+	// MaxVirtual is the virtual-time cap; runs still pending at the cap
+	// are reported with Completed=false rather than panicking.
+	MaxVirtual sim.Time
+	// Probes are the named extra metrics collected after the run.
+	Probes []string
+}
+
+// SweepSpec is a declarative cartesian experiment grid. Cells enumerates
+// Workloads × Stacks × Variants in that nesting order (workloads
+// outermost), so the cell order — and therefore the Results order — is a
+// deterministic function of the spec alone.
+type SweepSpec struct {
+	// Name identifies the sweep in results and progress reports.
+	Name string
+
+	Workloads []Workload
+	Stacks    []Stack
+	Variants  []Variant
+
+	// BaseSeed derives a distinct deterministic seed per cell (mixed with
+	// the cell ID). Zero leaves every cell on the cluster default seed
+	// (1), matching a plain cluster.New deployment.
+	BaseSeed int64
+
+	// MaxVirtual is the default virtual-time safety cap per cell
+	// (default 100 hours, the legacy experiment deadline).
+	MaxVirtual sim.Time
+
+	// Probes names extra per-cell metrics to collect (see probes.go).
+	Probes []string
+
+	// Tune, when non-nil, adjusts each cell after expansion — the escape
+	// hatch for cross-axis dependencies (e.g. a checkpoint interval that
+	// depends on the stack, or a cap derived from a baseline sweep).
+	Tune func(*Cell)
+}
+
+// DefaultMaxVirtual is the virtual-time safety cap applied when neither
+// the spec nor the variant sets one.
+const DefaultMaxVirtual = 100 * sim.Minute * 60
+
+// Cells expands the grid into its resolved cells.
+func (s *SweepSpec) Cells() []Cell {
+	stacks := s.Stacks
+	if len(stacks) == 0 {
+		stacks = []Stack{{Key: "default", Stack: cluster.StackVdummy}}
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
+	var cells []Cell
+	seen := make(map[string]bool)
+	for _, w := range s.Workloads {
+		for _, st := range stacks {
+			for _, v := range variants {
+				id := w.key() + "|" + st.key() + "|" + v.key()
+				if seen[id] {
+					panic(fmt.Sprintf("harness: sweep %q has duplicate cell ID %q — give workloads, stacks and variants distinct keys", s.Name, id))
+				}
+				seen[id] = true
+				cfg := cluster.Config{
+					NP:           w.NP(),
+					Stack:        st.Stack,
+					Reducer:      st.Reducer,
+					UseEL:        st.UseEL,
+					CkptPolicy:   v.CkptPolicy,
+					CkptInterval: v.CkptInterval,
+					RestartDelay: v.RestartDelay,
+					EventLoggers: v.EventLoggers,
+					ELSync:       v.ELSync,
+					EL:           v.EL,
+				}
+				if v.Net != nil {
+					cfg.Net = *v.Net
+				}
+				if s.BaseSeed != 0 {
+					cfg.Seed = DeriveSeed(s.BaseSeed, id)
+				} else {
+					// Record the cluster default explicitly so results
+					// state the seed the simulation actually ran with.
+					cfg.Seed = 1
+				}
+				maxV := v.MaxVirtual
+				if maxV == 0 {
+					maxV = s.MaxVirtual
+				}
+				if maxV == 0 {
+					maxV = DefaultMaxVirtual
+				}
+				cell := Cell{
+					Index:      len(cells),
+					ID:         id,
+					Workload:   w,
+					Stack:      st,
+					Variant:    v,
+					Config:     cfg,
+					FaultAt:    v.FaultAt,
+					FaultEvery: v.FaultEvery,
+					MaxVirtual: maxV,
+					Probes:     s.Probes,
+				}
+				if s.Tune != nil {
+					s.Tune(&cell)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells
+}
+
+// DeriveSeed maps (base, cell ID) to a deterministic non-zero simulation
+// seed, so every cell of a sweep draws from an independent stream while the
+// whole sweep remains reproducible from the base seed alone.
+func DeriveSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|", base)
+	h.Write([]byte(id))
+	seed := int64(h.Sum64() & (1<<63 - 1))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

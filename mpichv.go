@@ -19,7 +19,12 @@
 //     sender-based payload replay),
 //   - NAS Parallel Benchmark communication skeletons (BT, SP, CG, LU, FT,
 //     MG; classes A and B) and a NetPIPE-style ping-pong,
-//   - one experiment per table/figure of the paper's evaluation.
+//   - one experiment per table/figure of the paper's evaluation, each
+//     expressed as a declarative sweep grid,
+//   - a parallel sweep harness (Sweep / SweepSpec): declarative cartesian
+//     experiment grids — workload × protocol stack × variant — executed
+//     across a worker pool with deterministic per-cell seeds and
+//     machine-readable JSON/CSV results.
 //
 // # Quick start
 //
@@ -36,6 +41,21 @@
 //
 // Custom applications implement Program: a function receiving the rank's
 // daemon node, typically wrapped in a Comm for the MPI API.
+//
+// # Sweeps
+//
+// Arbitrary experiment grids run through the harness in a few lines:
+//
+//	spec := &mpichv.SweepSpec{
+//		Name:      "reducer-scaling",
+//		Workloads: []mpichv.SweepWorkload{{Spec: mpichv.BenchmarkSpec{Bench: "cg", Class: "A", NP: 8}}},
+//		Stacks: []mpichv.SweepStack{
+//			{Label: "Vcausal", Stack: mpichv.StackVcausal, Reducer: "vcausal", UseEL: true},
+//			{Label: "Manetho", Stack: mpichv.StackVcausal, Reducer: "manetho", UseEL: true},
+//		},
+//	}
+//	res := mpichv.Sweep(spec, mpichv.SweepOptions{}) // one worker per CPU
+//	data, _ := res.JSON()
 package mpichv
 
 import (
@@ -45,6 +65,7 @@ import (
 	"mpichv/internal/eventlogger"
 	"mpichv/internal/experiment"
 	"mpichv/internal/failure"
+	"mpichv/internal/harness"
 	"mpichv/internal/mpi"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
@@ -82,6 +103,33 @@ type (
 	CheckpointPolicy = checkpoint.Policy
 	// EventLoggerConfig is the Event Logger service model.
 	EventLoggerConfig = eventlogger.Config
+
+	// SweepSpec is a declarative cartesian experiment grid.
+	SweepSpec = harness.SweepSpec
+	// SweepStack is one point of a sweep's protocol axis.
+	SweepStack = harness.Stack
+	// SweepWorkload is one point of a sweep's application axis.
+	SweepWorkload = harness.Workload
+	// SweepVariant is one point of a sweep's configuration axis
+	// (checkpointing, faults, Event Logger deployment, wire model).
+	SweepVariant = harness.Variant
+	// SweepCell is one fully resolved grid point.
+	SweepCell = harness.Cell
+	// SweepOptions tune sweep execution (worker-pool size, cell timeout,
+	// progress and error callbacks).
+	SweepOptions = harness.Options
+	// SweepProgress reports one completed cell to the progress callback.
+	SweepProgress = harness.Progress
+	// SweepCellError identifies one failed cell.
+	SweepCellError = harness.CellError
+	// SweepResults holds a sweep's outcome in grid order; it serializes
+	// to JSON and CSV.
+	SweepResults = harness.Results
+	// SweepCellResult is one cell's outcome.
+	SweepCellResult = harness.CellResult
+	// ExperimentReport is a paper artifact: the rendered table plus the
+	// raw sweep results behind it.
+	ExperimentReport = experiment.Report
 )
 
 // Time units.
@@ -130,6 +178,16 @@ func BuildPingPong(bytes, reps int) *Benchmark { return workload.BuildPingPong(b
 // FastEthernet returns the paper's 100 Mbit/s switched network model.
 func FastEthernet() NetworkConfig { return netmodel.FastEthernet() }
 
+// Sweep expands the spec's grid and executes every cell across a worker
+// pool (one worker per CPU unless opts says otherwise), returning ordered,
+// JSON/CSV-serializable results. Cells are independent single-threaded
+// simulations, so any worker count produces identical results.
+func Sweep(spec *SweepSpec, opts SweepOptions) *SweepResults { return harness.Run(spec, opts) }
+
+// SetExperimentRunner installs the sweep options (parallelism, progress
+// callbacks, cell timeout) used by every figure regeneration.
+func SetExperimentRunner(opts SweepOptions) { experiment.SetRunnerOptions(opts) }
+
 // Experiment runs one of the paper's evaluation artifacts by name and
 // returns its table. Names: "fig1", "fig6a", "fig6b", "fig7", "fig8a",
 // "fig8b", "fig9", "fig10". Unknown names return nil.
@@ -141,27 +199,20 @@ func Experiment(name string) *Table {
 	return fn()
 }
 
-// ExperimentIndex maps experiment names to their generator functions.
+// ExperimentIndex maps experiment names to their table generators.
 func ExperimentIndex() map[string]func() *Table {
-	return map[string]func() *Table{
-		"fig1":        experiment.Fig01FaultResilience,
-		"fig6a":       experiment.Fig06aLatency,
-		"fig6b":       experiment.Fig06bBandwidth,
-		"fig7":        experiment.Fig07PiggybackSize,
-		"fig8a":       experiment.Fig08aPiggybackTime,
-		"fig8b":       experiment.Fig08bPiggybackShare,
-		"fig9":        experiment.Fig09NAS,
-		"fig10":       experiment.Fig10Recovery,
-		"ext-el":      experiment.ExtDistributedEL,
-		"ext-elsweep": experiment.ExtELServiceSweep,
-		"ext-sched":   experiment.ExtSchedulerPolicies,
-		"ext-duplex":  experiment.ExtDuplexAblation,
+	idx := make(map[string]func() *Table)
+	for name, fn := range experiment.Index() {
+		fn := fn
+		idx[name] = func() *Table { return fn().Table }
 	}
+	return idx
 }
+
+// ExperimentReports maps experiment names to their report generators
+// (table plus raw sweep results).
+func ExperimentReports() map[string]func() *ExperimentReport { return experiment.Index() }
 
 // ExperimentNames returns the experiment names in the paper's order,
 // followed by the reproduction's extension experiments.
-func ExperimentNames() []string {
-	return []string{"fig1", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex"}
-}
+func ExperimentNames() []string { return experiment.Names() }
