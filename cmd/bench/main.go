@@ -1,0 +1,134 @@
+// Command bench runs the curated performance suite (internal/bench) and
+// maintains the repository's benchmark baselines.
+//
+// Usage:
+//
+//	bench [-short] [-label L] [-out FILE] [-baseline FILE] [-gate PCT]
+//	      [-bench NAME[,NAME...]] [-benchtime D] [-sha REV] [-q]
+//	bench -list
+//
+// Results are serialized to BENCH_<label>.json (override with -out).
+// With -baseline the run is diffed against a committed baseline file; with
+// -gate the command exits non-zero when any curated benchmark regresses by
+// more than PCT percent in ns/op (calibration-normalized across machines)
+// or allocs/op — the CI perf gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"mpichv/internal/bench"
+)
+
+func main() {
+	short := flag.Bool("short", false, "shorter benchtime per benchmark (CI mode)")
+	label := flag.String("label", "local", "baseline label (writes BENCH_<label>.json)")
+	out := flag.String("out", "", "output path (default BENCH_<label>.json; \"-\" suppresses the file)")
+	baseline := flag.String("baseline", "", "baseline file to diff against")
+	gate := flag.Float64("gate", 0, "fail when any benchmark regresses more than this percent vs -baseline (0 = report only)")
+	only := flag.String("bench", "", "comma-separated benchmark names to run (default all)")
+	benchtime := flag.Duration("benchtime", 0, "per-benchmark measuring time (default 1s, 100ms with -short)")
+	sha := flag.String("sha", "", "source revision recorded in the results (default: git rev-parse HEAD)")
+	list := flag.Bool("list", false, "list curated benchmarks and exit")
+	quiet := flag.Bool("q", false, "suppress progress on stderr")
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	bt := *benchtime
+	if bt == 0 {
+		bt = time.Second
+		if *short {
+			bt = 100 * time.Millisecond
+		}
+	}
+	// testing.Benchmark reads the benchtime from the testing flag set;
+	// register it and set it explicitly so the CLI controls run length.
+	testing.Init()
+	if err := flag.Set("test.benchtime", bt.String()); err != nil {
+		fatal("set benchtime: %v", err)
+	}
+
+	var names []string
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	progress := func(name string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  running %s\n", name)
+		}
+	}
+	measured, err := bench.Run(names, progress)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res := bench.New(*label, revision(*sha), *short, measured)
+
+	for _, r := range res.Results {
+		fmt.Printf("%-24s %14.1f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	path := *out
+	if path == "" {
+		path = bench.FileName(*label)
+	}
+	if path != "-" {
+		if err := res.Save(path); err != nil {
+			fatal("write %s: %v", path, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+		}
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := bench.Load(*baseline)
+	if err != nil {
+		fatal("%v", err)
+	}
+	regs := bench.Compare(res, base, *gate)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %.0f%% vs %s (sha %.12s)\n", *gate, *baseline, base.SHA)
+		return
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	if *gate > 0 {
+		os.Exit(1)
+	}
+}
+
+// revision resolves the recorded source revision: the explicit flag, the
+// git HEAD, or "unknown" outside a checkout.
+func revision(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

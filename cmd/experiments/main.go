@@ -47,17 +47,10 @@ func main() {
 	}
 
 	reports := mpichv.ExperimentReports()
-	var names []string
-	if *figs == "all" {
-		names = mpichv.ExperimentNames()
-	} else {
-		for _, f := range strings.Split(*figs, ",") {
-			f = strings.TrimSpace(f)
-			if _, ok := reports[f]; !ok {
-				f = "fig" + strings.TrimPrefix(f, "fig")
-			}
-			names = append(names, f)
-		}
+	names, err := resolveFigures(*figs, reports)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (try -list)\n", err)
+		os.Exit(2)
 	}
 
 	opts := mpichv.SweepOptions{Parallel: *parallel, CellTimeout: *cellTimeout}
@@ -71,22 +64,16 @@ func main() {
 	}
 	mpichv.SetExperimentRunner(opts)
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "cannot create -out directory: %v\n", err)
-			os.Exit(1)
-		}
+	if err := prepareOutDir(*outDir); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
 	}
 	// Structured output on stdout replaces the tables; with -out the
 	// tables stay on stdout and files carry the structured results.
 	printTables := !(*jsonOut || *csvOut) || *outDir != ""
 
 	for _, name := range names {
-		gen, ok := reports[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
-		}
+		gen := reports[name]
 		start := time.Now()
 		rep, err := generate(gen)
 		if err != nil {
@@ -115,6 +102,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
 		}
 	}
+}
+
+// resolveFigures expands the -fig flag into experiment names: "all", or a
+// comma-separated list where each entry may use the short form ("7") or
+// the full name ("fig7"). Every entry must name a known experiment; an
+// empty expansion (e.g. "-fig ,") is also an error.
+func resolveFigures(figSpec string, reports map[string]func() *mpichv.ExperimentReport) ([]string, error) {
+	if figSpec == "all" {
+		return mpichv.ExperimentNames(), nil
+	}
+	var names []string
+	for _, f := range strings.Split(figSpec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if _, ok := reports[f]; !ok {
+			f = "fig" + strings.TrimPrefix(f, "fig")
+		}
+		if _, ok := reports[f]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q", f)
+		}
+		names = append(names, f)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-fig %q selects no experiments", figSpec)
+	}
+	return names, nil
+}
+
+// prepareOutDir creates the -out directory (with parents) when one is
+// requested; the empty value means stdout and needs no preparation.
+func prepareOutDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cannot create -out directory: %v", err)
+	}
+	return nil
 }
 
 // generate runs one report generator, converting the harness's

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func results(label string, rs ...Result) *Results {
+	return &Results{Label: label, SHA: "deadbeef", Date: "2026-01-01T00:00:00Z", Results: rs}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("test"))
+	in := results("test",
+		Result{Name: "a", NsPerOp: 123.5, AllocsPerOp: 2, BytesPerOp: 64, Iterations: 1000},
+		Result{Name: "b", NsPerOp: 9.25, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 5},
+	)
+	if err := in.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Label != "test" || out.SHA != "deadbeef" || len(out.Results) != 2 {
+		t.Fatalf("round trip mangled envelope: %+v", out)
+	}
+	if got := out.Get("a"); got == nil || *got != in.Results[0] {
+		t.Fatalf("Get(a) = %+v, want %+v", got, in.Results[0])
+	}
+	if out.Get("missing") != nil {
+		t.Error("Get(missing) should be nil")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := results("base",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "fast", NsPerOp: 1000, AllocsPerOp: 4},
+		Result{Name: "steady", NsPerOp: 1000, AllocsPerOp: 4},
+	)
+	cur := results("cur",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "fast", NsPerOp: 1600, AllocsPerOp: 4},   // +60% ns/op
+		Result{Name: "steady", NsPerOp: 1100, AllocsPerOp: 4}, // +10%: within gate
+	)
+	regs := Compare(cur, base, 25)
+	if len(regs) != 1 || regs[0].Name != "fast" || regs[0].Metric != "ns/op" {
+		t.Fatalf("Compare = %v, want one ns/op regression on fast", regs)
+	}
+}
+
+func TestCompareNormalizesByCalibration(t *testing.T) {
+	base := results("base",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "x", NsPerOp: 1000, AllocsPerOp: 0},
+	)
+	// The current machine is 2x slower across the board: calibration and
+	// benchmark double together — not a regression.
+	cur := results("cur",
+		Result{Name: CalibName, NsPerOp: 200},
+		Result{Name: "x", NsPerOp: 2000, AllocsPerOp: 0},
+	)
+	if regs := Compare(cur, base, 25); len(regs) != 0 {
+		t.Fatalf("hardware-speed difference flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := results("base",
+		Result{Name: "x", NsPerOp: 1000, AllocsPerOp: 2},
+		Result{Name: "warm", NsPerOp: 1000, AllocsPerOp: 0},
+	)
+	cur := results("cur",
+		Result{Name: "x", NsPerOp: 1000, AllocsPerOp: 12},   // +10 allocs: flagged
+		Result{Name: "warm", NsPerOp: 1000, AllocsPerOp: 1}, // within slack
+	)
+	regs := Compare(cur, base, 25)
+	if len(regs) != 1 || regs[0].Name != "x" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("Compare = %v, want one allocs/op regression on x", regs)
+	}
+}
+
+func TestCompareShortMismatchGatesAllocsOnly(t *testing.T) {
+	base := results("base",
+		Result{Name: "x", NsPerOp: 1000, AllocsPerOp: 0},
+	)
+	cur := results("cur",
+		Result{Name: "x", NsPerOp: 9000, AllocsPerOp: 40}, // ns noise + real alloc regression
+	)
+	cur.Short = true // -short CI run vs full-length baseline
+	regs := Compare(cur, base, 25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("Compare across measuring modes = %v, want only the allocs/op regression", regs)
+	}
+}
+
+func TestCompareIgnoresUnknownBenchmarks(t *testing.T) {
+	base := results("base", Result{Name: "retired", NsPerOp: 10})
+	cur := results("cur", Result{Name: "brand-new", NsPerOp: 99999, AllocsPerOp: 50})
+	if regs := Compare(cur, base, 25); len(regs) != 0 {
+		t.Fatalf("added/retired benchmarks flagged: %v", regs)
+	}
+}
+
+// TestRunMicroSuite executes two real micro benchmarks end to end through
+// the Run machinery (testing.Benchmark under the hood) and sanity-checks
+// the measurements: the curated hot paths must be allocation-free.
+func TestRunMicroSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	rs, err := Run([]string{"kernel/schedule-pop", "vproto/enc-factored"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Name, r)
+		}
+		if r.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op, want the curated hot path allocation-free", r.Name, r.AllocsPerOp)
+		}
+	}
+	if _, err := Run([]string{"no-such-benchmark"}, nil); err == nil {
+		t.Error("unknown benchmark name should error")
+	}
+}

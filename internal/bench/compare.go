@@ -1,0 +1,81 @@
+package bench
+
+import "fmt"
+
+// CalibName is the CPU-speed calibration benchmark: a fixed arithmetic
+// spin whose ns/op tracks single-core throughput of the host. Compare uses
+// the calibration ratio between two runs to normalize ns/op before gating,
+// so a committed baseline measured on one machine can gate CI runs on
+// another without hardware speed masquerading as regression. It is never
+// gated itself.
+const CalibName = "calib/spin"
+
+// allocSlack is the absolute allocs/op change ignored by the gate: pooled
+// and slab-amortized paths legitimately wobble by an allocation or two
+// between runs depending on warmup.
+const allocSlack = 2
+
+// Regression is one gate violation.
+type Regression struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Base   float64
+	Cur    float64 // normalized for ns/op
+	Pct    float64 // relative increase, in percent
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (+%.1f%%)", r.Name, r.Metric, r.Base, r.Cur, r.Pct)
+}
+
+// Compare reports every benchmark present in both runs whose ns/op
+// (calibration-normalized) or allocs/op regressed by more than thresholdPct
+// percent. Benchmarks only present on one side are ignored: adding or
+// retiring benchmarks is not a regression.
+//
+// ns/op is only gated when the two runs used the same measuring mode: a
+// -short run (~7-20 iterations on the macro cells) against a full-length
+// baseline is not a timing comparison, and calibration normalizes clock
+// speed, not microarchitecture. allocs/op is deterministic and is gated
+// regardless — it is the signal the CI perf gate relies on when comparing
+// its -short run against the committed full-length baseline.
+func Compare(cur, base *Results, thresholdPct float64) []Regression {
+	gateNs := cur.Short == base.Short
+	speedup := 1.0 // cur-machine cycles per base-machine cycle
+	if cb, bb := cur.Get(CalibName), base.Get(CalibName); cb != nil && bb != nil && bb.NsPerOp > 0 {
+		speedup = cb.NsPerOp / bb.NsPerOp
+	}
+	var regs []Regression
+	for i := range cur.Results {
+		c := &cur.Results[i]
+		if c.Name == CalibName {
+			continue
+		}
+		b := base.Get(c.Name)
+		if b == nil {
+			continue
+		}
+		if gateNs && b.NsPerOp > 0 {
+			norm := c.NsPerOp / speedup
+			if pct := (norm - b.NsPerOp) / b.NsPerOp * 100; pct > thresholdPct {
+				regs = append(regs, Regression{
+					Name: c.Name, Metric: "ns/op",
+					Base: b.NsPerOp, Cur: norm, Pct: pct,
+				})
+			}
+		}
+		if delta := c.AllocsPerOp - b.AllocsPerOp; delta > allocSlack {
+			pct := 100.0 * float64(delta)
+			if b.AllocsPerOp > 0 {
+				pct = float64(delta) / float64(b.AllocsPerOp) * 100
+			}
+			if pct > thresholdPct {
+				regs = append(regs, Regression{
+					Name: c.Name, Metric: "allocs/op",
+					Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp), Pct: pct,
+				})
+			}
+		}
+	}
+	return regs
+}

@@ -43,6 +43,21 @@ type graph struct {
 	headOwn *gnode
 
 	held int
+
+	// Allocation-avoidance state. The reducer is a single-process state
+	// machine (never shared between goroutines), so plain free lists and
+	// reusable scratch buffers suffice:
+	//   slab/slabOff  block-allocates gnodes (pointer-stable arena);
+	//   free          recycles nodes collected by gc;
+	//   vecFree       recycles vector-clock arrays of collected nodes;
+	//   knownScratch  backs knowledgeOf's per-send knowledge vector;
+	//   frontScratch  backs frontier's result (valid until the next call).
+	slab         []gnode
+	slabOff      int
+	free         []*gnode
+	vecFree      [][]uint64
+	knownScratch []uint64
+	frontScratch []*gnode
 }
 
 // gnode is one antecedence-graph vertex.
@@ -65,7 +80,52 @@ func newGraph(self event.Rank, np int) *graph {
 	for i := range g.knownBy {
 		g.knownBy[i] = make([]uint64, np)
 	}
+	g.knownScratch = make([]uint64, np)
 	return g
+}
+
+// slabBlock is the gnode arena granularity: large enough to amortize the
+// block allocation to noise, small enough not to bloat tiny runs.
+const slabBlock = 256
+
+// alloc returns a node holding d, from the free list or the arena.
+func (g *graph) alloc(d event.Determinant) *gnode {
+	if k := len(g.free); k > 0 {
+		n := g.free[k-1]
+		g.free = g.free[:k-1]
+		n.d = d
+		return n
+	}
+	if g.slabOff == len(g.slab) {
+		g.slab = make([]gnode, slabBlock)
+		g.slabOff = 0
+	}
+	n := &g.slab[g.slabOff]
+	g.slabOff++
+	n.d = d
+	return n
+}
+
+// release recycles a node removed from the graph, salvaging its vector
+// clock array for the next vcOf computation.
+func (g *graph) release(n *gnode) {
+	if n.vc != nil {
+		g.vecFree = append(g.vecFree, n.vc)
+		n.vc = nil
+	}
+	n.d = event.Determinant{}
+	g.free = append(g.free, n)
+}
+
+// newVec returns a zeroed np-length vector clock, recycled when possible.
+func (g *graph) newVec() []uint64 {
+	if k := len(g.vecFree); k > 0 {
+		vc := g.vecFree[k-1]
+		g.vecFree = g.vecFree[:k-1]
+		clear(vc)
+		return vc
+	}
+	return make([]uint64, g.np)
 }
 
 // insert adds d to the graph if it is neither held nor stable. The returned
@@ -76,7 +136,7 @@ func (g *graph) insert(d event.Determinant) (inserted bool, ops int64) {
 	if d.ID.Clock <= g.lastHeld[c] || d.ID.Clock <= g.stable[c] {
 		return false, 1
 	}
-	n := &gnode{d: d}
+	n := g.alloc(d)
 	g.chains[c] = append(g.chains[c], n)
 	g.index[d.ID] = n
 	g.lastHeld[c] = d.ID.Clock
@@ -123,7 +183,7 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 			stack = append(stack, parent)
 			continue
 		}
-		vc := make([]uint64, g.np)
+		vc := g.newVec()
 		if chainPred != nil {
 			copy(vc, chainPred.vc)
 		}
@@ -151,9 +211,10 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 // knowledgeOf returns, per creator, the highest clock dst is believed to
 // hold: the max of direct-exchange knowledge, the stability horizon and —
 // the antecedence inference — the causal past of dst's latest event held
-// locally. Entry dst is infinite: a process knows its own events.
+// locally. Entry dst is infinite: a process knows its own events. The
+// returned vector is scratch, valid until the next call.
 func (g *graph) knowledgeOf(dst event.Rank) []uint64 {
-	known := make([]uint64, g.np)
+	known := g.knownScratch
 	copy(known, g.knownBy[dst])
 	for c := range known {
 		if g.stable[c] > known[c] {
@@ -174,7 +235,9 @@ func (g *graph) knowledgeOf(dst event.Rank) []uint64 {
 // frontier returns the held determinants above dst's inferred knowledge, in
 // factored order (grouped by creator, clocks ascending), along with the
 // number of creator chains probed. It commits the result to knownBy[dst].
+// The returned slice is scratch, valid until the next frontier call.
 func (g *graph) frontier(dst event.Rank) (out []*gnode, creators int64) {
+	out = g.frontScratch[:0]
 	known := g.knowledgeOf(dst)
 	for c := 0; c < g.np; c++ {
 		chain := g.chains[c]
@@ -197,6 +260,7 @@ func (g *graph) frontier(dst event.Rank) (out []*gnode, creators int64) {
 			g.knownBy[dst][c] = chain[len(chain)-1].d.ID.Clock
 		}
 	}
+	g.frontScratch = out[:0]
 	return out, creators
 }
 
@@ -221,10 +285,18 @@ func (g *graph) gc(vec []uint64) int64 {
 		cut := 0
 		for cut < len(chain) && chain[cut].d.ID.Clock <= vec[c] {
 			delete(g.index, chain[cut].d.ID)
+			g.release(chain[cut])
 			cut++
 		}
 		if cut > 0 {
-			g.chains[c] = append([]*gnode(nil), chain[cut:]...)
+			// Compact in place: the slice keeps its capacity for future
+			// appends, and the vacated tail is cleared so released nodes
+			// are not pinned.
+			kept := copy(chain, chain[cut:])
+			for i := kept; i < len(chain); i++ {
+				chain[i] = nil
+			}
+			g.chains[c] = chain[:kept]
 			g.held -= cut
 			ops += int64(cut)
 		}

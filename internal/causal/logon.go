@@ -1,7 +1,7 @@
 package causal
 
 import (
-	"sort"
+	"slices"
 
 	"mpichv/internal/event"
 )
@@ -49,6 +49,31 @@ func (l *LogOn) Merge(src event.Rank, ds []event.Determinant) int64 {
 // model: traversal (1 op/event) plus the reorder (⌈log₂(K+1)⌉ ops/event)
 // plus one probe per creator chain.
 func (l *LogOn) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
+	nodes, ops := l.orderedFrontier(dst)
+	if len(nodes) == 0 {
+		return nil, ops
+	}
+	out := make([]event.Determinant, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.d
+	}
+	return out, ops
+}
+
+// AppendPiggybackFor implements Reducer: PiggybackFor, appending into a
+// caller-owned buffer.
+func (l *LogOn) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64) {
+	nodes, ops := l.orderedFrontier(dst)
+	for _, n := range nodes {
+		buf = append(buf, n.d)
+	}
+	return buf, ops
+}
+
+// orderedFrontier computes the frontier in emission (partial) order and the
+// total op cost. The returned slice is graph scratch, valid until the next
+// frontier computation.
+func (l *LogOn) orderedFrontier(dst event.Rank) ([]*gnode, int64) {
 	nodes, creators := l.g.frontier(dst)
 	if len(nodes) == 0 {
 		return nil, creators + int64(l.g.held)/3
@@ -56,13 +81,17 @@ func (l *LogOn) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
 	// Stable sort: ancestors (strictly smaller Lamport value) come first;
 	// ties keep factored order, which is fine because equal-Lamport events
 	// are causally unordered.
-	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].d.Lamport < nodes[j].d.Lamport })
-	out := make([]event.Determinant, len(nodes))
-	for i, n := range nodes {
-		out[i] = n.d
-	}
-	k := int64(len(out))
-	return out, k*(1+log2ceil(len(out))) + creators + int64(l.g.held)/3
+	slices.SortStableFunc(nodes, func(a, b *gnode) int {
+		switch {
+		case a.d.Lamport < b.d.Lamport:
+			return -1
+		case a.d.Lamport > b.d.Lamport:
+			return 1
+		}
+		return 0
+	})
+	k := int64(len(nodes))
+	return nodes, k*(1+log2ceil(len(nodes))) + creators + int64(l.g.held)/3
 }
 
 // Stable implements Reducer.

@@ -50,8 +50,7 @@ func (m *Manetho) Merge(src event.Rank, ds []event.Determinant) int64 {
 // keeps growing and so does this cost) plus 2 ops per emitted event and one
 // probe per creator chain.
 func (m *Manetho) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
-	nodes, creators := m.g.frontier(dst)
-	ops := creators + int64(m.g.held)/4
+	nodes, ops := m.costedFrontier(dst)
 	if len(nodes) == 0 {
 		return nil, ops
 	}
@@ -59,7 +58,29 @@ func (m *Manetho) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
 	for i, n := range nodes {
 		out[i] = n.d
 	}
-	return out, ops + 2*int64(len(out))
+	return out, ops
+}
+
+// AppendPiggybackFor implements Reducer: PiggybackFor, appending into a
+// caller-owned buffer.
+func (m *Manetho) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64) {
+	nodes, ops := m.costedFrontier(dst)
+	for _, n := range nodes {
+		buf = append(buf, n.d)
+	}
+	return buf, ops
+}
+
+// costedFrontier computes the emission frontier and the total op cost, the
+// single home of Manetho's send-side cost model. The returned slice is
+// graph scratch, valid until the next frontier computation.
+func (m *Manetho) costedFrontier(dst event.Rank) ([]*gnode, int64) {
+	nodes, creators := m.g.frontier(dst)
+	ops := creators + int64(m.g.held)/4
+	if len(nodes) == 0 {
+		return nil, ops
+	}
+	return nodes, ops + 2*int64(len(nodes))
 }
 
 // Stable implements Reducer.

@@ -71,7 +71,15 @@ type Reducer interface {
 	// next message to dst, in protocol emission order, plus the op count.
 	// The reducer commits the optimistic assumption that dst now knows
 	// them (no event is ever sent twice between the same pair, §III-B).
+	// The returned slice is freshly allocated at exact size (nil when
+	// empty) and owned by the caller.
 	PiggybackFor(dst event.Rank) ([]event.Determinant, int64)
+
+	// AppendPiggybackFor is PiggybackFor appending into a caller-owned
+	// buffer, so steady-state senders recycling their piggyback buffers
+	// (the daemon keeps a free list of consumed ones) allocate nothing.
+	// Semantics and op count are identical to PiggybackFor.
+	AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64)
 
 	// Stable applies an Event Logger acknowledgment: for every creator c,
 	// events with clock ≤ vec[c] are stably logged and are garbage

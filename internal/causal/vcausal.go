@@ -27,17 +27,23 @@ type Vcausal struct {
 	stable []uint64
 
 	held int
+
+	// cutScratch[c] is the emission plan of the current send: the index of
+	// the first determinant of seqs[c] to piggyback (len(seqs[c]) when
+	// none). Filled by planFor, consumed by emitTo.
+	cutScratch []int
 }
 
 // NewVcausal returns an empty Vcausal reducer for rank self of np processes.
 func NewVcausal(self event.Rank, np int) *Vcausal {
 	v := &Vcausal{
-		self:     self,
-		np:       np,
-		seqs:     make([][]event.Determinant, np),
-		knownBy:  make([][]uint64, np),
-		lastHeld: make([]uint64, np),
-		stable:   make([]uint64, np),
+		self:       self,
+		np:         np,
+		seqs:       make([][]event.Determinant, np),
+		knownBy:    make([][]uint64, np),
+		lastHeld:   make([]uint64, np),
+		stable:     make([]uint64, np),
+		cutScratch: make([]int, np),
 	}
 	for i := range v.knownBy {
 		v.knownBy[i] = make([]uint64, np)
@@ -84,16 +90,32 @@ func (v *Vcausal) Merge(src event.Rank, ds []event.Determinant) int64 {
 // Figure 8a shows Vcausal's send-side time growing roughly tenfold without
 // an Event Logger, so the cost cannot be independent of state size.
 func (v *Vcausal) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
-	var out []event.Determinant
-	ops := int64(v.held) / 8
+	total, ops := v.planFor(dst)
+	if total == 0 {
+		return nil, ops
+	}
+	return v.emitTo(dst, make([]event.Determinant, 0, total)), ops
+}
+
+// AppendPiggybackFor implements Reducer: PiggybackFor, appending into a
+// caller-owned buffer.
+func (v *Vcausal) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64) {
+	_, ops := v.planFor(dst)
+	return v.emitTo(dst, buf), ops
+}
+
+// planFor computes the emission plan for one send to dst — cutScratch[c]
+// is the first index of seqs[c] to piggyback — and the total count and op
+// cost. It must not mutate reducer state: the commitment to knownBy
+// happens in emitTo, exactly once per send.
+func (v *Vcausal) planFor(dst event.Rank) (total int, ops int64) {
+	ops = int64(v.held) / 8
 	for c := 0; c < v.np; c++ {
 		ops++ // creator probe
-		if event.Rank(c) == dst {
-			continue // dst knows its own events by definition
-		}
 		seq := v.seqs[c]
-		if len(seq) == 0 {
-			continue
+		v.cutScratch[c] = len(seq)
+		if event.Rank(c) == dst || len(seq) == 0 {
+			continue // dst knows its own events by definition
 		}
 		threshold := v.knownBy[dst][c]
 		if v.stable[c] > threshold {
@@ -110,13 +132,26 @@ func (v *Vcausal) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
 				lo = mid + 1
 			}
 		}
+		v.cutScratch[c] = lo
 		if lo < len(seq) {
-			out = append(out, seq[lo:]...)
+			total += len(seq) - lo
 			ops += int64(len(seq) - lo)
+		}
+	}
+	return total, ops
+}
+
+// emitTo appends the planned suffixes to buf and commits the optimistic
+// assumption that dst now holds them.
+func (v *Vcausal) emitTo(dst event.Rank, buf []event.Determinant) []event.Determinant {
+	for c := 0; c < v.np; c++ {
+		seq := v.seqs[c]
+		if lo := v.cutScratch[c]; lo < len(seq) {
+			buf = append(buf, seq[lo:]...)
 			v.knownBy[dst][c] = seq[len(seq)-1].ID.Clock
 		}
 	}
-	return out, ops
+	return buf
 }
 
 // Stable implements Reducer.
@@ -133,7 +168,9 @@ func (v *Vcausal) Stable(vec []uint64) int64 {
 			cut++
 		}
 		if cut > 0 {
-			v.seqs[c] = append([]event.Determinant(nil), seq[cut:]...)
+			// Compact in place; the slice keeps its capacity for reuse.
+			kept := copy(seq, seq[cut:])
+			v.seqs[c] = seq[:kept]
 			v.held -= cut
 			ops += int64(cut)
 		}

@@ -78,9 +78,11 @@ func (s *Scheduler) run(p *sim.Proc) {
 }
 
 func (s *Scheduler) request(rank int) {
-	s.ep.Send(rank, 16, &vproto.Packet{
-		Kind: vproto.PktCkptRequest, From: s.ep.ID(), Epoch: s.epoch,
-	})
+	pkt := vproto.GetPacket()
+	pkt.Kind = vproto.PktCkptRequest
+	pkt.From = s.ep.ID()
+	pkt.Epoch = s.epoch
+	s.ep.Send(rank, 16, pkt)
 }
 
 // Epoch returns the last issued wave number.

@@ -70,6 +70,9 @@ func NewServer(k *sim.Kernel, net *netmodel.Network, endpoint, np int, cfg Serve
 
 func (s *Server) handle(d netmodel.Delivery) {
 	pkt := d.Payload.(*vproto.Packet)
+	// Copy whatever the deferred completions below need out of the packet:
+	// the shell is released when this handler returns, before they fire.
+	from, rank := pkt.From, pkt.Rank
 	switch pkt.Kind {
 	case vproto.PktCkptStore:
 		im := pkt.Image
@@ -79,9 +82,12 @@ func (s *Server) handle(d netmodel.Delivery) {
 		// delivers whole messages), so images are always intact.
 		s.k.After(delay, func() {
 			s.commit(im)
-			s.ep.Send(pkt.From, 16, &vproto.Packet{
-				Kind: vproto.PktCkptAck, From: s.ep.ID(), Rank: im.Rank, Epoch: im.Epoch,
-			})
+			ack := vproto.GetPacket()
+			ack.Kind = vproto.PktCkptAck
+			ack.From = s.ep.ID()
+			ack.Rank = im.Rank
+			ack.Epoch = im.Epoch
+			s.ep.Send(from, 16, ack)
 		})
 
 	case vproto.PktCkptFetch:
@@ -90,24 +96,28 @@ func (s *Server) handle(d netmodel.Delivery) {
 		switch pkt.Epoch {
 		case -2: // latest complete wave (coordinated rollback)
 			if s.completeEpoch >= 0 {
-				im = s.byEpoch[s.completeEpoch][pkt.Rank]
+				im = s.byEpoch[s.completeEpoch][rank]
 			}
 		default: // latest committed image for the rank
-			im = s.latest[pkt.Rank]
+			im = s.latest[rank]
 		}
 		bytes := int64(32)
 		if im != nil {
 			bytes = im.Bytes()
 		}
 		s.k.After(s.cfg.FixedPerOp, func() {
-			s.ep.Send(pkt.From, int(bytes), &vproto.Packet{
-				Kind: vproto.PktCkptImage, From: s.ep.ID(), Image: im, Rank: pkt.Rank,
-			})
+			resp := vproto.GetPacket()
+			resp.Kind = vproto.PktCkptImage
+			resp.From = s.ep.ID()
+			resp.Image = im
+			resp.Rank = rank
+			s.ep.Send(from, int(bytes), resp)
 		})
 
 	default:
 		panic(fmt.Sprintf("checkpoint: unexpected packet kind %v", pkt.Kind))
 	}
+	vproto.PutPacket(pkt)
 }
 
 func (s *Server) commit(im *vproto.CheckpointImage) {

@@ -225,11 +225,18 @@ func (n *Node) Lamport() uint64 { return n.lamport }
 func (n *Node) Clock() uint64 { return n.clock }
 
 // RecvQueueSnapshot returns copies of the currently delivered, unconsumed
-// application messages (Chandy-Lamport channel-state seeding).
+// application messages (Chandy-Lamport channel-state seeding). Piggyback
+// slices are deep-copied: the live messages' buffers return to the
+// piggyback free list once delivered, and a checkpoint image must not alias
+// recycled memory.
 func (n *Node) RecvQueueSnapshot() []vproto.Message {
 	out := make([]vproto.Message, 0, len(n.recvQ))
 	for _, m := range n.recvQ {
-		out = append(out, *m)
+		cp := *m
+		if len(cp.Piggyback) > 0 {
+			cp.Piggyback = append([]event.Determinant(nil), cp.Piggyback...)
+		}
+		out = append(out, cp)
 	}
 	return out
 }
@@ -309,7 +316,11 @@ func (n *Node) transmit(m *vproto.Message) {
 	n.stats.HeaderBytes += int64(n.Stack.HeaderBytes)
 	n.stats.PiggybackBytes += int64(m.PiggybackBytes)
 	n.stats.PiggybackEvents += int64(len(m.Piggyback))
-	n.ep.Send(int(m.Dst), wire, &vproto.Packet{Kind: vproto.PktApp, From: n.ep.ID(), App: m})
+	pkt := vproto.GetPacket()
+	pkt.Kind = vproto.PktApp
+	pkt.From = n.ep.ID()
+	pkt.App = m
+	n.ep.Send(int(m.Dst), wire, pkt)
 }
 
 // Recv blocks until a message matching (src, tag) is delivered and returns
@@ -445,6 +456,10 @@ func (n *Node) WaitPacket() {
 
 func (n *Node) process(d netmodel.Delivery) {
 	pkt := d.Payload.(*vproto.Packet)
+	// The daemon is every packet's terminal consumer: whatever outlives
+	// processing (the App message, a checkpoint image, a recovery stable
+	// vector) is carried by reference and survives the shell's release.
+	defer vproto.PutPacket(pkt)
 	switch pkt.Kind {
 	case vproto.PktApp:
 		m := pkt.App
@@ -498,10 +513,10 @@ func (n *Node) serveDetRequest(pkt *vproto.Packet) {
 		dets := n.Proto.HeldFor(pkt.Creator)
 		bytes := event.FactoredSize(dets) + 32
 		n.ChargeCPU(sim.Time(len(dets)) * n.Cal.PerEventSend / 4)
-		n.SendPacket(int(requester), bytes, &vproto.Packet{
-			Kind:         vproto.PktDetResponse,
-			Determinants: dets,
-		})
+		resp := vproto.GetPacket()
+		resp.Kind = vproto.PktDetResponse
+		resp.Determinants = dets
+		n.SendPacket(int(requester), bytes, resp)
 	}
 	if n.Proto.UsesSenderLog() {
 		for _, lp := range n.Log.For(requester, pkt.SeqFloor) {
@@ -564,9 +579,12 @@ func (n *Node) TakeCheckpoint() {
 	im := n.BuildImage()
 
 	n.awaitCkptAck = true
-	n.SendPacket(n.CkptEndpoint, int(im.Bytes()), &vproto.Packet{
-		Kind: vproto.PktCkptStore, Image: im, Rank: n.rank, Epoch: im.Epoch,
-	})
+	store := vproto.GetPacket()
+	store.Kind = vproto.PktCkptStore
+	store.Image = im
+	store.Rank = n.rank
+	store.Epoch = im.Epoch
+	n.SendPacket(n.CkptEndpoint, int(im.Bytes()), store)
 	for n.awaitCkptAck {
 		n.WaitPacket()
 	}
@@ -582,10 +600,11 @@ func (n *Node) TakeCheckpoint() {
 			if event.Rank(r) == n.rank {
 				continue
 			}
-			n.SendPacket(r, 16, &vproto.Packet{
-				Kind: vproto.PktCkptGC, Rank: n.rank,
-				SeqFloor: im.LastSeqSeen[r],
-			})
+			gc := vproto.GetPacket()
+			gc.Kind = vproto.PktCkptGC
+			gc.Rank = n.rank
+			gc.SeqFloor = im.LastSeqSeen[r]
+			n.SendPacket(r, 16, gc)
 		}
 	}
 }
@@ -623,9 +642,11 @@ func (n *Node) PrepareRecovery() {
 	// and re-accepted once the image is restored.
 	n.recovering = true
 	n.imageArrived = false
-	n.SendPacket(n.CkptEndpoint, 32, &vproto.Packet{
-		Kind: vproto.PktCkptFetch, Rank: n.rank, Epoch: -1,
-	})
+	fetch := vproto.GetPacket()
+	fetch.Kind = vproto.PktCkptFetch
+	fetch.Rank = n.rank
+	fetch.Epoch = -1
+	n.SendPacket(n.CkptEndpoint, 32, fetch)
 	for !n.imageArrived {
 		n.WaitPacket()
 	}
@@ -645,19 +666,22 @@ func (n *Node) PrepareRecovery() {
 	n.collectedStab = nil
 	if n.ELEndpoint >= 0 {
 		n.detRespsWanted = 1
-		n.SendPacket(n.ELEndpoint, 32, &vproto.Packet{
-			Kind: vproto.PktEventQuery, Creator: n.rank,
-		})
+		q := vproto.GetPacket()
+		q.Kind = vproto.PktEventQuery
+		q.Creator = n.rank
+		n.SendPacket(n.ELEndpoint, 32, q)
 	} else {
 		n.detRespsWanted = n.np - 1
 		for r := 0; r < n.np; r++ {
 			if event.Rank(r) == n.rank {
 				continue
 			}
-			n.SendPacket(r, 32, &vproto.Packet{
-				Kind: vproto.PktDetRequest, Creator: n.rank,
-				WantDets: true, SeqFloor: n.seqTrack[r].consumedFloor(),
-			})
+			req := vproto.GetPacket()
+			req.Kind = vproto.PktDetRequest
+			req.Creator = n.rank
+			req.WantDets = true
+			req.SeqFloor = n.seqTrack[r].consumedFloor()
+			n.SendPacket(r, 32, req)
 		}
 	}
 	for n.detRespsWanted > 0 {
@@ -672,10 +696,11 @@ func (n *Node) PrepareRecovery() {
 			if event.Rank(r) == n.rank {
 				continue
 			}
-			n.SendPacket(r, 32, &vproto.Packet{
-				Kind: vproto.PktDetRequest, Creator: n.rank,
-				WantDets: false, SeqFloor: n.seqTrack[r].consumedFloor(),
-			})
+			req := vproto.GetPacket()
+			req.Kind = vproto.PktDetRequest
+			req.Creator = n.rank
+			req.SeqFloor = n.seqTrack[r].consumedFloor()
+			n.SendPacket(r, 32, req)
 		}
 	}
 
@@ -760,8 +785,14 @@ func (n *Node) restoreImage(im *vproto.CheckpointImage) {
 	// the floors) and Chandy-Lamport recorded in-transit messages (above
 	// them). Both are authoritative — append unconditionally, only marking
 	// the trackers so later stale copies are recognized as duplicates.
+	// Piggybacks are deep-copied: delivery hands the buffer to the
+	// piggyback free list, and the image (which may serve further restarts)
+	// must not alias recycled memory.
 	for i := range im.ChannelMsgs {
 		m := im.ChannelMsgs[i]
+		if len(m.Piggyback) > 0 {
+			m.Piggyback = append([]event.Determinant(nil), m.Piggyback...)
+		}
 		n.seqTrack[m.Src].accept(m.SendSeq)
 		n.recvQ = append(n.recvQ, &m)
 	}
@@ -802,9 +833,11 @@ func (n *Node) PrepareRollback(crashed bool) {
 
 	n.recovering = true
 	n.imageArrived = false
-	n.SendPacket(n.CkptEndpoint, 32, &vproto.Packet{
-		Kind: vproto.PktCkptFetch, Rank: n.rank, Epoch: -2, // latest complete wave
-	})
+	fetch := vproto.GetPacket()
+	fetch.Kind = vproto.PktCkptFetch
+	fetch.Rank = n.rank
+	fetch.Epoch = -2 // latest complete wave
+	n.SendPacket(n.CkptEndpoint, 32, fetch)
 	for !n.imageArrived {
 		n.WaitPacket()
 	}

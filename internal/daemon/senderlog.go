@@ -41,7 +41,9 @@ func (l *SenderLog) TrimTo(dst event.Rank, seqFloor uint64) {
 		cut++
 	}
 	if cut > 0 {
-		l.perDst[dst] = append([]vproto.LoggedPayload(nil), entries[cut:]...)
+		// Compact in place; the slice keeps its capacity for future sends.
+		kept := copy(entries, entries[cut:])
+		l.perDst[dst] = entries[:kept]
 	}
 }
 

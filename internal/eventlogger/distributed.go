@@ -125,10 +125,17 @@ func (g *Group) syncLoop(p *sim.Proc, s *Server) {
 	bytes := 16 + 4*g.np
 	for {
 		p.Sleep(g.cfg.SyncInterval)
-		vec := s.stableCopy()
-		pkt := &vproto.Packet{Kind: vproto.PktELSync, From: s.ep.ID(), StableVec: vec}
+		// One pooled packet per destination, each with its own copy of the
+		// stable array in packet-owned scratch: packets are released (and
+		// their scratch reused) independently by each consumer, so sharing
+		// one packet or one vector across the multicast would corrupt
+		// whichever copies are still in flight.
 		for _, peer := range g.servers {
 			if peer != s {
+				pkt := vproto.GetPacket()
+				pkt.Kind = vproto.PktELSync
+				pkt.From = s.ep.ID()
+				copy(pkt.AckVec(g.np), s.stable)
 				s.ep.Send(peer.ep.ID(), bytes, pkt)
 			}
 		}
@@ -136,9 +143,11 @@ func (g *Group) syncLoop(p *sim.Proc, s *Server) {
 			for r := 0; r < g.np; r++ {
 				// Nodes treat the broadcast exactly like an acknowledgment:
 				// both carry a stable array.
-				s.ep.Send(r, bytes, &vproto.Packet{
-					Kind: vproto.PktEventAck, From: s.ep.ID(), StableVec: vec,
-				})
+				pkt := vproto.GetPacket()
+				pkt.Kind = vproto.PktEventAck
+				pkt.From = s.ep.ID()
+				copy(pkt.AckVec(g.np), s.stable)
+				s.ep.Send(r, bytes, pkt)
 			}
 		}
 	}

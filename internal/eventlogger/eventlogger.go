@@ -98,11 +98,13 @@ func (s *Server) run(p *sim.Proc) {
 		case vproto.PktEventLog:
 			p.Sleep(s.cfg.PerPacket + sim.Time(len(pkt.Determinants))*s.cfg.PerEvent)
 			s.storeEvents(pkt.Determinants)
-			ack := &vproto.Packet{
-				Kind:      vproto.PktEventAck,
-				From:      s.ep.ID(),
-				StableVec: s.stableCopy(),
-			}
+			// The acknowledgment's stable vector rides in packet-owned
+			// scratch (AckVec): no consumer retains it past processing,
+			// so the logging round-trip allocates nothing in steady state.
+			ack := vproto.GetPacket()
+			ack.Kind = vproto.PktEventAck
+			ack.From = s.ep.ID()
+			copy(ack.AckVec(s.np), s.stable)
 			s.ep.Send(pkt.From, s.cfg.AckOverheadBytes+4*s.np, ack)
 
 		case vproto.PktELSync:
@@ -112,18 +114,21 @@ func (s *Server) run(p *sim.Proc) {
 		case vproto.PktEventQuery:
 			p.Sleep(s.cfg.PerPacket)
 			s.QueriesServed++
+			// Recovery responses are retained by the recovering node
+			// (determinants and stable vector both), so they must carry
+			// freshly allocated slices, never packet scratch.
 			dets := append([]event.Determinant(nil), s.store[pkt.Creator]...)
-			resp := &vproto.Packet{
-				Kind:         vproto.PktEventQueryResp,
-				From:         s.ep.ID(),
-				Determinants: dets,
-				StableVec:    s.stableCopy(),
-			}
+			resp := vproto.GetPacket()
+			resp.Kind = vproto.PktEventQueryResp
+			resp.From = s.ep.ID()
+			resp.Determinants = dets
+			resp.StableVec = s.stableCopy()
 			s.ep.Send(pkt.From, event.FactoredSize(dets)+s.cfg.AckOverheadBytes+4*s.np, resp)
 
 		default:
 			panic(fmt.Sprintf("eventlogger: unexpected packet kind %v", pkt.Kind))
 		}
+		vproto.PutPacket(pkt)
 	}
 }
 

@@ -285,3 +285,55 @@ func TestTuneHook(t *testing.T) {
 		}
 	}
 }
+
+// TestCellTimeoutFreesWorkerForSiblings: a timed-out cell must release its
+// worker slot so the remaining cells of the sweep still execute; only the
+// over-budget cell reports the timeout.
+func TestCellTimeoutFreesWorkerForSiblings(t *testing.T) {
+	spec := &SweepSpec{
+		Name: "timeout-mixed",
+		Workloads: []Workload{
+			{Key: "pp-long", PingPongBytes: 1, PingPongReps: 2_000_000},
+			{Key: "pp-short", PingPongBytes: 1, PingPongReps: 5},
+		},
+		Stacks: []Stack{{Key: "vc", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true}},
+	}
+	res := Run(spec, Options{Parallel: 1, CellTimeout: 50 * time.Millisecond})
+	long := res.Get("pp-long", "vc", "base")
+	if long == nil || !strings.Contains(long.Err, "timed out") {
+		t.Fatalf("long cell = %+v, want timeout error", long)
+	}
+	short := res.Get("pp-short", "vc", "base")
+	if short == nil || short.Err != "" || !short.Completed {
+		t.Fatalf("short cell after a sibling timeout = %+v, want clean completion", short)
+	}
+}
+
+// TestCellTimeoutWatchdogPreservesDeterminism: a cell that finishes under
+// its wall-clock deadline must produce results byte-identical to an
+// unguarded run — the watchdog may not disturb the simulation.
+func TestCellTimeoutWatchdogPreservesDeterminism(t *testing.T) {
+	spec := func() *SweepSpec {
+		return &SweepSpec{
+			Name: "watchdog",
+			Workloads: []Workload{
+				{Key: "cg.A.2", Spec: workload.Spec{Bench: "cg", Class: "A", NP: 2}},
+			},
+			Stacks:   []Stack{{Key: "vc", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true}},
+			BaseSeed: 7,
+		}
+	}
+	unguarded := Run(spec(), Options{})
+	guarded := Run(spec(), Options{CellTimeout: time.Hour})
+	a, err := unguarded.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := guarded.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("watchdog perturbed the simulation:\nunguarded: %s\nguarded:   %s", a, b)
+	}
+}

@@ -69,11 +69,43 @@ type Network struct {
 	cfg Config
 	eps []*Endpoint
 
+	// freeDeliveries recycles delivery events (and their pre-bound kernel
+	// closures) so that Send allocates nothing per message in steady state.
+	// The network belongs to exactly one single-threaded kernel, so a plain
+	// free list suffices.
+	freeDeliveries []*deliveryEvent
+
 	// TotalBytes counts application-visible bytes accepted for transmission
 	// (excluding frame overhead), for whole-run accounting.
 	TotalBytes int64
 	// TotalMessages counts messages accepted for transmission.
 	TotalMessages int64
+}
+
+// deliveryEvent carries one in-flight message through the kernel queue. The
+// fire closure is built once per pooled object; it hands the delivery to the
+// destination endpoint and returns itself to the network's free list.
+type deliveryEvent struct {
+	to   *Endpoint
+	d    Delivery
+	fire func()
+}
+
+func (n *Network) newDelivery(to *Endpoint, d Delivery) *deliveryEvent {
+	if k := len(n.freeDeliveries); k > 0 {
+		ev := n.freeDeliveries[k-1]
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		ev.to, ev.d = to, d
+		return ev
+	}
+	ev := &deliveryEvent{to: to, d: d}
+	ev.fire = func() {
+		to, d := ev.to, ev.d
+		ev.to, ev.d = nil, Delivery{}
+		n.freeDeliveries = append(n.freeDeliveries, ev)
+		to.deliver(d)
+	}
+	return ev
 }
 
 // Endpoint is one attachment point (one node's NIC).
@@ -165,7 +197,8 @@ func (ep *Endpoint) Send(dst int, bytes int, payload any) {
 
 	if dst == ep.id {
 		// Loopback: no NIC involvement, a token in-memory latency.
-		k.After(sim.Microsecond, func() { to.deliver(Delivery{Src: ep.id, Bytes: bytes, Payload: payload}) })
+		ev := n.newDelivery(to, Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
+		k.After(sim.Microsecond, ev.fire)
 		return
 	}
 
@@ -199,9 +232,8 @@ func (ep *Endpoint) Send(dst int, bytes int, payload any) {
 		to.txFree = maxTime(to.txFree, deliverAt)
 	}
 
-	k.At(deliverAt, func() {
-		to.deliver(Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
-	})
+	ev := n.newDelivery(to, Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
+	k.At(deliverAt, ev.fire)
 }
 
 func (ep *Endpoint) deliver(d Delivery) {

@@ -115,9 +115,11 @@ func (c *Coordinated) TakeSnapshot(n *daemon.Node) {
 		if event.Rank(r) == n.Rank() {
 			continue
 		}
-		n.SendPacket(r, 16, &vproto.Packet{
-			Kind: vproto.PktMarker, Rank: n.Rank(), Epoch: epoch,
-		})
+		pkt := vproto.GetPacket()
+		pkt.Kind = vproto.PktMarker
+		pkt.Rank = n.Rank()
+		pkt.Epoch = epoch
+		n.SendPacket(r, 16, pkt)
 	}
 	if n.MarkersWanted == 0 {
 		c.finish(n)
@@ -135,9 +137,12 @@ func (c *Coordinated) finish(n *daemon.Node) {
 	c.doneEpoch = im.Epoch
 	n.Stats().Checkpoints++
 	n.Stats().CheckpointBytes += im.Bytes()
-	n.SendPacket(n.CkptEndpoint, int(im.Bytes()), &vproto.Packet{
-		Kind: vproto.PktCkptStore, Image: im, Rank: n.Rank(), Epoch: im.Epoch,
-	})
+	pkt := vproto.GetPacket()
+	pkt.Kind = vproto.PktCkptStore
+	pkt.Image = im
+	pkt.Rank = n.Rank()
+	pkt.Epoch = im.Epoch
+	n.SendPacket(n.CkptEndpoint, int(im.Bytes()), pkt)
 }
 
 // Snapshot implements daemon.Protocol (no protocol state beyond channels).

@@ -48,10 +48,10 @@ func (p *Pessimistic) OnDeliver(n *daemon.Node, m *vproto.Message) {
 	if fresh {
 		n.ChargeCPU(n.Cal.ELShip)
 		n.Stats().EventsLogged++
-		n.SendPacket(n.ELEndpoint, elLogPacketBytes, &vproto.Packet{
-			Kind:         vproto.PktEventLog,
-			Determinants: []event.Determinant{d},
-		})
+		pkt := vproto.GetPacket()
+		pkt.Kind = vproto.PktEventLog
+		pkt.SetDeterminant(d)
+		n.SendPacket(n.ELEndpoint, elLogPacketBytes, pkt)
 	} else if d.ID.Clock > p.ackedOwn {
 		// Replayed events were already collected from the EL.
 		p.ackedOwn = d.ID.Clock

@@ -23,6 +23,33 @@ type Vcausal struct {
 	reducer     causal.Reducer
 	reducerName string
 	useEL       bool
+
+	// pbFree recycles piggyback buffers: PreSend draws one, attaches it to
+	// the outgoing message, and the receiving stack returns the buffer here
+	// once the piggyback has been merged (OnDeliver). Buffers therefore
+	// migrate between the single-threaded nodes of one cell, keeping the
+	// per-send piggyback path allocation-free in steady state.
+	pbFree [][]event.Determinant
+}
+
+// pbFreeMax bounds the buffer free list; asymmetric traffic patterns would
+// otherwise pile every buffer of the run onto one receiver.
+const pbFreeMax = 64
+
+func (v *Vcausal) getPBBuf() []event.Determinant {
+	if n := len(v.pbFree); n > 0 {
+		b := v.pbFree[n-1]
+		v.pbFree = v.pbFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (v *Vcausal) putPBBuf(b []event.Determinant) {
+	if cap(b) == 0 || len(v.pbFree) >= pbFreeMax {
+		return
+	}
+	v.pbFree = append(v.pbFree, b[:0])
 }
 
 // NewVcausal builds the causal stack for rank self of np processes with
@@ -56,7 +83,7 @@ func (v *Vcausal) Held() int { return v.reducer.Held() }
 // PreSend implements daemon.Protocol: attach the piggyback, log the
 // payload, charge the serialization CPU time.
 func (v *Vcausal) PreSend(n *daemon.Node, m *vproto.Message) {
-	pb, ops := v.reducer.PiggybackFor(m.Dst)
+	pb, ops := v.reducer.AppendPiggybackFor(m.Dst, v.getPBBuf())
 	m.Piggyback = pb
 	m.PiggybackBytes = v.reducer.PiggybackBytes(pb)
 
@@ -76,11 +103,18 @@ func (v *Vcausal) PreSend(n *daemon.Node, m *vproto.Message) {
 // record the reception determinant, ship it to the Event Logger.
 func (v *Vcausal) OnDeliver(n *daemon.Node, m *vproto.Message) {
 	ops := v.reducer.Merge(m.Src, m.Piggyback)
+	pbLen := len(m.Piggyback)
+	// The piggyback is fully absorbed into the reducer: recycle its buffer
+	// for this node's own sends. Messages aliased into checkpoint images
+	// carry deep copies (see Node.RecvQueueSnapshot), so no live reference
+	// remains.
+	v.putPBBuf(m.Piggyback)
+	m.Piggyback = nil
 	d, fresh := n.CreateDeterminant(m)
 	ops += v.reducer.AddLocal(d)
 
 	cpu := sim.Time(ops)*n.Cal.CostPerOp +
-		sim.Time(len(m.Piggyback))*n.Cal.PerEventRecv +
+		sim.Time(pbLen)*n.Cal.PerEventRecv +
 		n.Cal.EventCreate
 	n.Stats().RecvPiggybackTime += cpu
 	n.ChargeCPU(cpu)
@@ -92,10 +126,10 @@ func (v *Vcausal) OnDeliver(n *daemon.Node, m *vproto.Message) {
 	if fresh && v.useEL && n.ELEndpoint >= 0 {
 		n.ChargeCPU(n.Cal.ELShip)
 		n.Stats().EventsLogged++
-		n.SendPacket(n.ELEndpoint, elLogPacketBytes, &vproto.Packet{
-			Kind:         vproto.PktEventLog,
-			Determinants: []event.Determinant{d},
-		})
+		pkt := vproto.GetPacket()
+		pkt.Kind = vproto.PktEventLog
+		pkt.SetDeterminant(d)
+		n.SendPacket(n.ELEndpoint, elLogPacketBytes, pkt)
 	}
 }
 

@@ -41,9 +41,15 @@ func (h *eventHeap) push(ev scheduled) {
 	}
 }
 
-// pop removes and returns the earliest event. It must not be called on an
-// empty heap.
+// pop removes and returns the earliest event. Popping an empty heap is a
+// kernel invariant violation — it means some layer consumed events it never
+// scheduled — so it fails with a diagnosable message instead of a raw index
+// panic.
 func (h *eventHeap) pop() scheduled {
+	if len(h.items) == 0 {
+		panic("sim: pop from empty event queue (kernel invariant violation: " +
+			"an activity awaited progress no pending event can provide)")
+	}
 	top := h.items[0]
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
@@ -53,7 +59,12 @@ func (h *eventHeap) pop() scheduled {
 }
 
 // peek returns the earliest event without removing it.
-func (h *eventHeap) peek() scheduled { return h.items[0] }
+func (h *eventHeap) peek() scheduled {
+	if len(h.items) == 0 {
+		panic("sim: peek at empty event queue (kernel invariant violation)")
+	}
+	return h.items[0]
+}
 
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.items)

@@ -132,3 +132,35 @@ func TestMailboxPendingItemsSurviveWaiterChurn(t *testing.T) {
 		t.Fatalf("got %v, want [1 2]", got)
 	}
 }
+
+// TestMailboxRingWrapStress drives the ring buffer through many
+// grow/wrap/drain cycles with mixed batch sizes, checking FIFO order
+// end to end — the regression guard for the ring-storage rewrite.
+func TestMailboxRingWrapStress(t *testing.T) {
+	k := NewKernel(1)
+	m := NewMailbox[int](k)
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 1+round%13; i++ {
+			m.Put(next)
+			next++
+		}
+		for i := 0; i < 1+round%7 && m.Len() > 0; i++ {
+			v, ok := m.TryGet()
+			if !ok || v != want {
+				t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for m.Len() > 0 {
+		v, _ := m.TryGet()
+		if v != want {
+			t.Fatalf("drain: got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("consumed %d items, produced %d", want, next)
+	}
+}

@@ -17,6 +17,12 @@ type Proc struct {
 	// resume carries control from the kernel to the process goroutine.
 	resume chan struct{}
 
+	// stepFn and unparkFn are the two closures every park/unpark cycle
+	// schedules. They are built once at Spawn so that the simulation hot
+	// path (Sleep, mailbox waits) allocates nothing per operation.
+	stepFn   func()
+	unparkFn func()
+
 	killed   bool
 	finished bool
 	parked   bool
@@ -38,6 +44,8 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:   name,
 		resume: make(chan struct{}),
 	}
+	p.stepFn = func() { k.step(p) }
+	p.unparkFn = p.unpark
 	k.procs[p.id] = p
 	k.liveProcs++
 
@@ -64,7 +72,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 
-	k.At(k.now, func() { k.step(p) })
+	k.At(k.now, p.stepFn)
 	return p
 }
 
@@ -98,7 +106,7 @@ func (p *Proc) park() {
 // unpark schedules p to resume at the current virtual time. It is the only
 // legal way to wake a parked process.
 func (p *Proc) unpark() {
-	p.k.At(p.k.now, func() { p.k.step(p) })
+	p.k.At(p.k.now, p.stepFn)
 }
 
 // Name returns the name given at Spawn.
@@ -120,7 +128,7 @@ func (p *Proc) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	p.k.After(d, p.unpark)
+	p.k.After(d, p.unparkFn)
 	p.park()
 }
 

@@ -9,6 +9,8 @@
 package vproto
 
 import (
+	"sync"
+
 	"mpichv/internal/event"
 )
 
@@ -122,6 +124,60 @@ type Packet struct {
 	Image *CheckpointImage
 	// Rank scopes checkpoint operations and PktCkptRequest.
 	Rank event.Rank
+
+	// det is inline storage for the single-determinant Event Logger
+	// shipment — the highest-rate control packet in the system — so that
+	// pooled packets carry it without a per-send slice allocation.
+	det [1]event.Determinant
+	// vecbuf is a reusable stable-vector buffer (see AckVec). It survives
+	// pooling cycles, so acknowledgment-heavy runs reuse it indefinitely.
+	vecbuf []uint64
+}
+
+// SetDeterminant attaches a single determinant using the packet's inline
+// storage (no slice allocation). Receivers must copy determinants out
+// before the packet is released, which every consumer in this codebase
+// already does.
+func (p *Packet) SetDeterminant(d event.Determinant) {
+	p.det[0] = d
+	p.Determinants = p.det[:1]
+}
+
+// AckVec points StableVec at a packet-owned buffer of length n and returns
+// it for the caller to fill. It must only be used for packet kinds whose
+// consumers do not retain StableVec past packet processing (PktEventAck and
+// PktELSync); recovery responses (PktEventQueryResp) are retained by the
+// recovering node and must carry freshly allocated vectors.
+func (p *Packet) AckVec(n int) []uint64 {
+	if cap(p.vecbuf) < n {
+		p.vecbuf = make([]uint64, n)
+	}
+	p.StableVec = p.vecbuf[:n]
+	return p.StableVec
+}
+
+// packetPool recycles Packet shells across the whole process. Packet
+// contents never cross simulation cells — a packet is reset before reuse —
+// so sharing the pool between concurrently running sweep cells is safe and
+// keeps every cell's steady-state packet traffic allocation-free.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed packet from the pool. Senders fill it and hand
+// it to exactly one endpoint; the final consumer calls PutPacket.
+func GetPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// PutPacket resets p and returns it to the pool. Retained payloads (App
+// messages, checkpoint images, recovery stable vectors) live on with their
+// retainers; only the shell and its inline scratch are recycled. Callers
+// must be the packet's single terminal consumer.
+func PutPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	vec := p.vecbuf
+	*p = Packet{}
+	p.vecbuf = vec
+	packetPool.Put(p)
 }
 
 // CheckpointImage is a process state snapshot as stored by the checkpoint

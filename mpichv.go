@@ -59,6 +59,7 @@
 package mpichv
 
 import (
+	"mpichv/internal/bench"
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
 	"mpichv/internal/daemon"
@@ -130,6 +131,14 @@ type (
 	// ExperimentReport is a paper artifact: the rendered table plus the
 	// raw sweep results behind it.
 	ExperimentReport = experiment.Report
+
+	// BenchResult is one curated performance-suite measurement.
+	BenchResult = bench.Result
+	// BenchResults is a performance-suite run with provenance, the unit
+	// the BENCH_<label>.json baseline files serialize.
+	BenchResults = bench.Results
+	// BenchRegression is one perf-gate violation from BenchCompare.
+	BenchRegression = bench.Regression
 )
 
 // Time units.
@@ -162,6 +171,19 @@ const (
 // Reducers lists the piggyback-reduction techniques usable with
 // StackVcausal: "vcausal", "manetho", "logon".
 func Reducers() []string { return []string{"vcausal", "manetho", "logon"} }
+
+// BenchNames lists the curated performance benchmarks (see cmd/bench).
+func BenchNames() []string { return bench.Names() }
+
+// LoadBenchBaseline reads a BENCH_<label>.json file written by cmd/bench.
+func LoadBenchBaseline(path string) (*BenchResults, error) { return bench.Load(path) }
+
+// BenchCompare reports curated benchmarks that regressed more than
+// thresholdPct percent (ns/op calibration-normalized, allocs/op) between
+// two suite runs — the CI perf gate's logic.
+func BenchCompare(cur, base *BenchResults, thresholdPct float64) []BenchRegression {
+	return bench.Compare(cur, base, thresholdPct)
+}
 
 // NewCluster builds a deployment per cfg (see cluster.New).
 func NewCluster(cfg Config) *Cluster { return cluster.New(cfg) }
