@@ -200,3 +200,52 @@ func TestSchedulerNoneIsSilent(t *testing.T) {
 		t.Fatalf("PolicyNone issued %d waves", s.Waves)
 	}
 }
+
+// TestSchedulerRejectsUnknownPolicyAtConstruction: an invalid policy used
+// to pass NewScheduler and only panic at the first wave, deep inside the
+// simulation loop.
+func TestSchedulerRejectsUnknownPolicyAtConstruction(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScheduler accepted an unknown policy")
+		}
+	}()
+	NewScheduler(k, net, 1, 1, Policy("bogus"), 10*sim.Millisecond)
+}
+
+func TestSchedulerWaveObservers(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 2)
+	net.Endpoint(0).SetHandler(func(netmodel.Delivery) {})
+	s := NewScheduler(k, net, 1, 1, PolicyRoundRobin, 10*sim.Millisecond)
+	var epochs []int
+	s.ObserveWaves(func(e int) { epochs = append(epochs, e) })
+	k.RunUntil(35 * sim.Millisecond)
+	if len(epochs) != 3 || epochs[0] != 1 || epochs[2] != 3 {
+		t.Fatalf("wave observer saw %v, want [1 2 3]", epochs)
+	}
+}
+
+// TestServerSuspendDelaysService: requests arriving during an outage are
+// answered only after it ends.
+func TestServerSuspendDelaysService(t *testing.T) {
+	k, net, s := setup(t, 2)
+	var ackedAt sim.Time
+	net.Endpoint(0).SetHandler(func(d netmodel.Delivery) {
+		pkt := d.Payload.(*vproto.Packet)
+		if pkt.Kind == vproto.PktCkptAck {
+			ackedAt = k.Now()
+		}
+	})
+	k.At(0, func() { s.Suspend(50 * sim.Millisecond) })
+	im := image(0, 1, 1)
+	k.At(sim.Millisecond, func() {
+		net.Endpoint(0).Send(2, int(im.Bytes()), &vproto.Packet{Kind: vproto.PktCkptStore, From: 0, Image: im})
+	})
+	k.Run()
+	if ackedAt < 50*sim.Millisecond {
+		t.Fatalf("store acked at %v, inside the outage window", ackedAt)
+	}
+}

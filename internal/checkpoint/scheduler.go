@@ -38,14 +38,26 @@ type Scheduler struct {
 	interval sim.Time
 	epoch    int
 
+	// waveObservers are notified after each wave's requests are issued
+	// (fault-scenario engines use this to land faults mid-checkpoint).
+	waveObservers []func(epoch int)
+
 	// Waves counts scheduling rounds issued.
 	Waves int64
 }
 
 // NewScheduler builds a scheduler on the given endpoint and starts its
-// timer loop. interval ≤ 0 disables scheduling regardless of policy.
+// timer loop. interval ≤ 0 disables scheduling regardless of policy. An
+// unknown policy panics here, at construction, rather than at the first
+// wave deep inside the simulation loop.
 func NewScheduler(k *sim.Kernel, net *netmodel.Network, endpoint, np int,
 	policy Policy, interval sim.Time) *Scheduler {
+	switch policy {
+	case PolicyNone, PolicyRoundRobin, PolicyRandom, PolicyCoordinated:
+	default:
+		panic(fmt.Sprintf("checkpoint: unknown policy %q (want %q, %q, %q or %q)",
+			policy, PolicyNone, PolicyRoundRobin, PolicyRandom, PolicyCoordinated))
+	}
 	s := &Scheduler{
 		k: k, ep: net.Endpoint(endpoint), np: np,
 		policy: policy, interval: interval,
@@ -54,6 +66,13 @@ func NewScheduler(k *sim.Kernel, net *netmodel.Network, endpoint, np int,
 		k.Spawn("ckpt-scheduler", s.run)
 	}
 	return s
+}
+
+// ObserveWaves subscribes fn to wave notifications: it runs (in the
+// scheduler's process context) right after a wave's checkpoint requests
+// have been sent, while the images are still being built and stored.
+func (s *Scheduler) ObserveWaves(fn func(epoch int)) {
+	s.waveObservers = append(s.waveObservers, fn)
 }
 
 func (s *Scheduler) run(p *sim.Proc) {
@@ -71,8 +90,9 @@ func (s *Scheduler) run(p *sim.Proc) {
 			for r := 0; r < s.np; r++ {
 				s.request(r)
 			}
-		default:
-			panic(fmt.Sprintf("checkpoint: unknown policy %q", s.policy))
+		}
+		for _, fn := range s.waveObservers {
+			fn(s.epoch)
 		}
 	}
 }

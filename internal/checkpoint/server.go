@@ -17,6 +17,10 @@ type ServerConfig struct {
 	WritePerByte sim.Time
 	// FixedPerOp is the transaction bookkeeping cost.
 	FixedPerOp sim.Time
+	// Explicit marks the config as intentionally complete: cluster.New
+	// replaces an all-zero ServerConfig with DefaultServerConfig unless
+	// this is set, so a deliberately free storage model stays zero.
+	Explicit bool
 }
 
 // DefaultServerConfig models the paper's IDE-disk checkpoint server
@@ -46,6 +50,10 @@ type Server struct {
 	// completeEpoch is the newest wave for which all np images committed.
 	completeEpoch int
 
+	// suspendedUntil models an outage: requests arriving before it are
+	// served only after the server comes back (see Suspend).
+	suspendedUntil sim.Time
+
 	// Stores counts committed store transactions.
 	Stores int64
 	// Fetches counts served image fetches.
@@ -68,15 +76,34 @@ func NewServer(k *sim.Kernel, net *netmodel.Network, endpoint, np int, cfg Serve
 	return s
 }
 
+// Suspend takes the server offline for d of virtual time starting now,
+// modeling a crash-reboot of the checkpoint-server machine with its stable
+// storage intact: requests arriving during the outage are answered only
+// after it ends. Overlapping suspensions extend the outage.
+func (s *Server) Suspend(d sim.Time) {
+	if until := s.k.Now() + d; until > s.suspendedUntil {
+		s.suspendedUntil = until
+	}
+}
+
+// outageDelay is the extra service latency a request arriving now pays for
+// a pending outage.
+func (s *Server) outageDelay() sim.Time {
+	if s.suspendedUntil > s.k.Now() {
+		return s.suspendedUntil - s.k.Now()
+	}
+	return 0
+}
+
 func (s *Server) handle(d netmodel.Delivery) {
 	pkt := d.Payload.(*vproto.Packet)
 	// Copy whatever the deferred completions below need out of the packet:
 	// the shell is released when this handler returns, before they fire.
-	from, rank := pkt.From, pkt.Rank
+	from, rank, incarnation := pkt.From, pkt.Rank, pkt.Incarnation
 	switch pkt.Kind {
 	case vproto.PktCkptStore:
 		im := pkt.Image
-		delay := s.cfg.FixedPerOp + sim.Time(im.Bytes()*int64(s.cfg.WritePerByte))
+		delay := s.outageDelay() + s.cfg.FixedPerOp + sim.Time(im.Bytes()*int64(s.cfg.WritePerByte))
 		// The transaction commits only after the full write; a client crash
 		// mid-transfer never reaches this handler at all (the network
 		// delivers whole messages), so images are always intact.
@@ -105,12 +132,13 @@ func (s *Server) handle(d netmodel.Delivery) {
 		if im != nil {
 			bytes = im.Bytes()
 		}
-		s.k.After(s.cfg.FixedPerOp, func() {
+		s.k.After(s.outageDelay()+s.cfg.FixedPerOp, func() {
 			resp := vproto.GetPacket()
 			resp.Kind = vproto.PktCkptImage
 			resp.From = s.ep.ID()
 			resp.Image = im
 			resp.Rank = rank
+			resp.Incarnation = incarnation
 			s.ep.Send(from, int(bytes), resp)
 		})
 

@@ -13,6 +13,7 @@ import (
 	"mpichv/internal/event"
 	"mpichv/internal/eventlogger"
 	"mpichv/internal/failure"
+	"mpichv/internal/faultplan"
 	"mpichv/internal/mpi"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/protocols"
@@ -70,6 +71,13 @@ type Config struct {
 	// RestartDelay models fault detection plus relaunch (default 250 ms).
 	RestartDelay sim.Time
 
+	// Faults, when non-nil, is a declarative multi-failure scenario
+	// (storms, correlated kills, cascades, server outages) compiled onto
+	// the dispatcher at PrepareRun. The plan is read-only and may be
+	// shared across deployments; its stochastic draws derive from
+	// Faults.Seed (falling back to Seed).
+	Faults *faultplan.Plan
+
 	// AppStateBytes is the modeled checkpoint image size of the
 	// application state (default 8 MB).
 	AppStateBytes int64
@@ -94,6 +102,9 @@ type Cluster struct {
 	CkptServer *checkpoint.Server
 	Scheduler  *checkpoint.Scheduler
 	Dispatcher *failure.Dispatcher
+	// Faults is the compiled fault-scenario engine (nil when the config
+	// carries no plan); its counters classify every injected fault.
+	Faults *faultplan.Engine
 }
 
 // New builds a cluster per cfg. Endpoint layout: 0..NP-1 computing nodes,
@@ -105,7 +116,16 @@ func New(cfg Config) *Cluster {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	// Defaulting semantics: an all-zero cost model means "use the default"
+	// UNLESS its Explicit sentinel is set, which marks the zero values as
+	// deliberate (e.g. a free CPU model isolating wire costs) — the set
+	// sentinel makes the struct compare non-zero, so the equality checks
+	// below leave it alone. A zero wire model is degenerate rather than
+	// free, so an explicit zero network is rejected instead of honoured.
 	if cfg.Net.BandwidthBps == 0 {
+		if cfg.Net.Explicit {
+			panic("cluster: explicit network config has zero bandwidth")
+		}
 		cfg.Net = netmodel.FastEthernet()
 	}
 	if cfg.Cal == (daemon.Calibration{}) {
@@ -220,7 +240,8 @@ func (c *Cluster) Run(programs []failure.Program, maxVirtual sim.Time) sim.Time 
 }
 
 // PrepareRun wires a dispatcher for the programs without launching, so
-// callers can schedule faults first.
+// callers can schedule faults first. A fault plan in the config is
+// compiled here, onto the fresh dispatcher.
 func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 	if len(programs) != c.Cfg.NP {
 		panic("cluster: one program per rank required")
@@ -230,6 +251,23 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 	d.RestartDelay = c.Cfg.RestartDelay
 	d.OnAllDone = c.K.Stop
 	c.Dispatcher = d
+	if c.Cfg.Faults != nil {
+		targets := faultplan.Targets{
+			Kernel:     c.K,
+			Dispatcher: d,
+			Scheduler:  c.Scheduler,
+			CkptServer: c.CkptServer,
+			Seed:       c.Cfg.Seed,
+		}
+		if c.ELGroup != nil {
+			targets.EventLoggers = c.ELGroup.Servers()
+		}
+		eng, err := faultplan.Apply(targets, c.Cfg.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: invalid fault plan: %v", err))
+		}
+		c.Faults = eng
+	}
 	return d
 }
 

@@ -7,8 +7,10 @@ import (
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
+	"mpichv/internal/eventlogger"
 	"mpichv/internal/failure"
 	"mpichv/internal/mpi"
+	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
 )
 
@@ -254,4 +256,134 @@ func TestMultipleFaultsMessageLogging(t *testing.T) {
 	if d.Kills < 2 {
 		t.Fatalf("expected at least 2 kills, got %d", d.Kills)
 	}
+}
+
+// TestGenGuardOverlappingKillsSameRank: a second fault on a rank inside
+// its own restart window must supersede the pending respawn (gen guard)
+// and still recover to a consistent execution.
+func TestGenGuardOverlappingKillsSameRank(t *testing.T) {
+	ref, _ := runWithCrash(t, StackVcausal, "vcausal", true, 0)
+	const np = 4
+	cfg := Config{
+		NP: np, Stack: StackVcausal, Reducer: "vcausal", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 5 * sim.Millisecond,
+		RecordDeliveries: true,
+		RestartDelay:     20 * sim.Millisecond,
+		AppStateBytes:    64 << 10,
+	}
+	c := New(cfg)
+	d := c.PrepareRun(ringPrograms(np, 120, 512))
+	d.ScheduleFault(40*sim.Millisecond, 0)
+	d.ScheduleFault(48*sim.Millisecond, 0) // inside the 20ms restart window
+	d.Launch()
+	c.RunLaunched(30 * sim.Minute)
+	if d.Kills != 2 || d.Restarts != 1 {
+		t.Fatalf("kills=%d restarts=%d, want 2 kills and exactly 1 respawn", d.Kills, d.Restarts)
+	}
+	logs := make([]map[int64]daemon.DeliveryRecord, np)
+	for r := 0; r < np; r++ {
+		logs[r] = c.Nodes[r].Deliveries
+	}
+	compareDeliveryLogs(t, "gen-guard", ref, logs)
+}
+
+// TestCoordinatedSecondFaultInsideRestartDelay: under rollback-all, a
+// second fault landing before the first restart wave fires must cancel it
+// (per-rank gen guard) and produce exactly one rollback wave.
+func TestCoordinatedSecondFaultInsideRestartDelay(t *testing.T) {
+	ref, _ := runWithCrash(t, StackCoordinated, "", false, 0)
+	const np = 4
+	cfg := Config{
+		NP: np, Stack: StackCoordinated,
+		CkptPolicy: checkpoint.PolicyCoordinated, CkptInterval: 10 * sim.Millisecond,
+		RecordDeliveries: true,
+		RestartDelay:     20 * sim.Millisecond,
+		AppStateBytes:    64 << 10,
+	}
+	c := New(cfg)
+	d := c.PrepareRun(ringPrograms(np, 120, 512))
+	d.ScheduleFault(40*sim.Millisecond, 0)
+	d.ScheduleFault(50*sim.Millisecond, 2) // inside the rollback's restart window
+	d.Launch()
+	c.RunLaunched(30 * sim.Minute)
+	if d.Kills != 2 {
+		t.Fatalf("kills = %d, want 2", d.Kills)
+	}
+	if d.Restarts != np {
+		t.Fatalf("restarts = %d, want %d (single rollback wave; first one superseded)", d.Restarts, np)
+	}
+	logs := make([]map[int64]daemon.DeliveryRecord, np)
+	for r := 0; r < np; r++ {
+		logs[r] = c.Nodes[r].Deliveries
+	}
+	compareDeliveryLogs(t, "coordinated-overlap", ref, logs)
+}
+
+// TestFaultDuringCheckpoint kills the rank that is inside its checkpoint
+// transaction (store issued, ack pending): recovery must restore a
+// consistent image — either the previous one or the one committed by the
+// in-flight transaction.
+func TestFaultDuringCheckpoint(t *testing.T) {
+	ref, _ := runWithCrash(t, StackVcausal, "vcausal", true, 0)
+	const np = 4
+	cfg := Config{
+		NP: np, Stack: StackVcausal, Reducer: "vcausal", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 5 * sim.Millisecond,
+		RecordDeliveries: true,
+		RestartDelay:     20 * sim.Millisecond,
+		AppStateBytes:    1 << 20, // ~30ms store: the fault lands mid-transaction
+	}
+	c := New(cfg)
+	d := c.PrepareRun(ringPrograms(np, 120, 512))
+	// Wave 1 at 5ms requests rank 0; the 1 MB store takes ~30ms, so a kill
+	// at 15ms lands while the transaction is in flight.
+	d.ScheduleFault(15*sim.Millisecond, 0)
+	d.Launch()
+	c.RunLaunched(30 * sim.Minute)
+	if c.Nodes[0].Stats().Recoveries != 1 {
+		t.Fatalf("rank 0 recoveries = %d, want 1", c.Nodes[0].Stats().Recoveries)
+	}
+	logs := make([]map[int64]daemon.DeliveryRecord, np)
+	for r := 0; r < np; r++ {
+		logs[r] = c.Nodes[r].Deliveries
+	}
+	compareDeliveryLogs(t, "fault-mid-checkpoint", ref, logs)
+}
+
+// TestExplicitZeroCostModelsHonored: the Explicit sentinel keeps
+// deliberately zero cost models instead of silently installing defaults.
+func TestExplicitZeroCostModelsHonored(t *testing.T) {
+	c := New(Config{
+		NP: 2, Stack: StackVcausal, Reducer: "vcausal", UseEL: true,
+		Cal:        daemon.Calibration{Explicit: true},
+		EL:         eventlogger.Config{Explicit: true},
+		CkptServer: checkpoint.ServerConfig{Explicit: true},
+	})
+	if c.Cfg.Cal.EventCreate != 0 || c.Cfg.Cal.PerEventSend != 0 {
+		t.Fatalf("explicit zero calibration replaced by defaults: %+v", c.Cfg.Cal)
+	}
+	if c.Cfg.EL.PerPacket != 0 {
+		t.Fatalf("explicit zero EL config replaced by defaults: %+v", c.Cfg.EL)
+	}
+	if c.Cfg.CkptServer.WritePerByte != 0 {
+		t.Fatalf("explicit zero ckpt-server config replaced by defaults: %+v", c.Cfg.CkptServer)
+	}
+	// The deployment must still run.
+	c.Run(ringPrograms(2, 20, 256), sim.Minute)
+
+	// Default path unchanged: zero values without the sentinel get the
+	// calibrated models.
+	def := New(Config{NP: 2, Stack: StackVcausal, Reducer: "vcausal", UseEL: true})
+	if def.Cfg.Cal.EventCreate == 0 || def.Cfg.EL.PerPacket == 0 {
+		t.Fatal("implicit zero configs no longer defaulted")
+	}
+}
+
+func TestExplicitZeroNetworkRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("explicit zero-bandwidth network accepted")
+		}
+	}()
+	New(Config{NP: 2, Stack: StackVdummy, Net: netmodel.Config{Explicit: true}})
 }

@@ -37,6 +37,24 @@ type DeliveryRecord struct {
 	SendSeq uint64
 }
 
+// detRequest is a recovering peer's service request, copied out of its
+// pooled packet so it can be held across this node's own restore.
+type detRequest struct {
+	creator     event.Rank
+	wantDets    bool
+	seqFloor    uint64
+	incarnation int
+}
+
+func detRequestFrom(pkt *vproto.Packet) detRequest {
+	return detRequest{
+		creator:     pkt.Creator,
+		wantDets:    pkt.WantDets,
+		seqFloor:    pkt.SeqFloor,
+		incarnation: pkt.Incarnation,
+	}
+}
+
 // Protocol is the V-protocol fault-tolerance hook API. The generic daemon
 // calls these hooks at fixed points; implementations (Vdummy, Vcausal,
 // pessimistic, coordinated) supply the fault-tolerance behaviour.
@@ -141,6 +159,15 @@ type Node struct {
 	// restored; accepting them earlier would corrupt the trackers.
 	recovering bool
 	heldApp    []*vproto.Message
+	// heldDetReqs buffers service requests from other recovering ranks
+	// that arrived while this node was itself dead or restoring: serving
+	// them before the sender log and protocol state are back would replay
+	// from empty state and strand the peer's recovery forever.
+	heldDetReqs []detRequest
+	// recoveryEpoch tags determinant-collection requests so responses
+	// addressed to a dead incarnation (killed mid-recovery) cannot
+	// satisfy the next incarnation's collection with stale data.
+	recoveryEpoch int
 
 	// Coordinated-protocol channel recording (Chandy-Lamport); managed by
 	// the coordinated stack through the hook calls but stored here so the
@@ -432,6 +459,13 @@ func (n *Node) CreateDeterminant(m *vproto.Message) (event.Determinant, bool) {
 // Finish marks the program complete (used by harnesses to detect the end).
 func (n *Node) Finish() { n.done = true }
 
+// Unfinish revokes completion when a rollback-all resurrects the program
+// (coordinated checkpointing): the restored global state predates the
+// completion, and completion-based guards (fault targeting, AllDone) must
+// see the rank as running again from the instant of the rollback, not only
+// once the respawned process binds.
+func (n *Node) Unfinish() { n.done = false }
+
 // Done reports whether the program completed.
 func (n *Node) Done() bool { return n.done }
 
@@ -482,20 +516,36 @@ func (n *Node) process(d netmodel.Delivery) {
 		n.awaitCkptAck = false
 
 	case vproto.PktCkptImage:
+		if pkt.Incarnation != n.recoveryEpoch {
+			return // stale response to a dead incarnation's fetch
+		}
 		n.pendingImage = pkt.Image
 		n.imageArrived = true
 
 	case vproto.PktEventQueryResp:
+		if pkt.Incarnation != n.recoveryEpoch {
+			return // stale response to a dead incarnation's query
+		}
 		n.collectedDets = append(n.collectedDets, pkt.Determinants...)
 		n.collectedStab = pkt.StableVec
 		n.detRespsWanted--
 
 	case vproto.PktDetResponse:
+		if pkt.Incarnation != n.recoveryEpoch {
+			return // stale response to a dead incarnation's request
+		}
 		n.collectedDets = append(n.collectedDets, pkt.Determinants...)
 		n.detRespsWanted--
 
 	case vproto.PktDetRequest:
-		n.serveDetRequest(pkt)
+		req := detRequestFrom(pkt)
+		if n.recovering {
+			// Our own sender log and protocol state are not restored yet;
+			// serve the peer once they are (flushHeldApp).
+			n.heldDetReqs = append(n.heldDetReqs, req)
+			return
+		}
+		n.serveDetRequest(req)
 
 	case vproto.PktCkptGC:
 		n.Log.TrimTo(pkt.Rank, pkt.SeqFloor)
@@ -507,19 +557,20 @@ func (n *Node) process(d netmodel.Delivery) {
 
 // serveDetRequest answers a recovering peer: held determinants of the
 // requested creator (if asked) and replay of logged payloads.
-func (n *Node) serveDetRequest(pkt *vproto.Packet) {
-	requester := event.Rank(pkt.Creator)
-	if pkt.WantDets {
-		dets := n.Proto.HeldFor(pkt.Creator)
+func (n *Node) serveDetRequest(req detRequest) {
+	requester := req.creator
+	if req.wantDets {
+		dets := n.Proto.HeldFor(req.creator)
 		bytes := event.FactoredSize(dets) + 32
 		n.ChargeCPU(sim.Time(len(dets)) * n.Cal.PerEventSend / 4)
 		resp := vproto.GetPacket()
 		resp.Kind = vproto.PktDetResponse
 		resp.Determinants = dets
+		resp.Incarnation = req.incarnation
 		n.SendPacket(int(requester), bytes, resp)
 	}
 	if n.Proto.UsesSenderLog() {
-		for _, lp := range n.Log.For(requester, pkt.SeqFloor) {
+		for _, lp := range n.Log.For(requester, req.seqFloor) {
 			m := lp.Msg
 			m.Replay = true
 			n.transmit(&m)
@@ -619,10 +670,13 @@ func (n *Node) TakeCheckpoint() {
 func (n *Node) PrepareRecovery() {
 	n.recoveryStart = n.Now()
 	n.stats.Recoveries++
+	n.recoveryEpoch++
 
-	// Stale packets addressed to the previous incarnation are dropped;
-	// anything that matters is covered by replay.
-	n.ep.Inbox.Drain()
+	// Stale packets addressed to the previous incarnation are dropped
+	// (anything that matters is covered by replay) — except service
+	// requests from other recovering ranks, which are held and served
+	// after the restore.
+	n.drainForRecovery()
 	n.recvQ = nil
 	n.replayDets = nil
 	n.replayIdx = 0
@@ -646,6 +700,7 @@ func (n *Node) PrepareRecovery() {
 	fetch.Kind = vproto.PktCkptFetch
 	fetch.Rank = n.rank
 	fetch.Epoch = -1
+	fetch.Incarnation = n.recoveryEpoch
 	n.SendPacket(n.CkptEndpoint, 32, fetch)
 	for !n.imageArrived {
 		n.WaitPacket()
@@ -669,6 +724,7 @@ func (n *Node) PrepareRecovery() {
 		q := vproto.GetPacket()
 		q.Kind = vproto.PktEventQuery
 		q.Creator = n.rank
+		q.Incarnation = n.recoveryEpoch
 		n.SendPacket(n.ELEndpoint, 32, q)
 	} else {
 		n.detRespsWanted = n.np - 1
@@ -681,6 +737,7 @@ func (n *Node) PrepareRecovery() {
 			req.Creator = n.rank
 			req.WantDets = true
 			req.SeqFloor = n.seqTrack[r].consumedFloor()
+			req.Incarnation = n.recoveryEpoch
 			n.SendPacket(r, 32, req)
 		}
 	}
@@ -700,6 +757,7 @@ func (n *Node) PrepareRecovery() {
 			req.Kind = vproto.PktDetRequest
 			req.Creator = n.rank
 			req.SeqFloor = n.seqTrack[r].consumedFloor()
+			req.Incarnation = n.recoveryEpoch
 			n.SendPacket(r, 32, req)
 		}
 	}
@@ -753,9 +811,30 @@ func (n *Node) PrepareRecovery() {
 	}
 }
 
+// drainForRecovery empties the inbox at the start of a recovery. In-flight
+// packets addressed to the dead incarnation are released, but PktDetRequest
+// service requests are addressed to the daemon, not the incarnation: a
+// concurrently recovering peer sent them exactly once, so dropping them
+// would strand that peer's recovery. They are held and served after this
+// node's own state is restored.
+func (n *Node) drainForRecovery() {
+	for {
+		d, ok := n.ep.Inbox.TryGet()
+		if !ok {
+			return
+		}
+		pkt := d.Payload.(*vproto.Packet)
+		if pkt.Kind == vproto.PktDetRequest {
+			n.heldDetReqs = append(n.heldDetReqs, detRequestFrom(pkt))
+		}
+		vproto.PutPacket(pkt)
+	}
+}
+
 // flushHeldApp re-runs acceptance for application packets that arrived
 // while the checkpoint image was being fetched, now that the
-// duplicate-suppression floors are authoritative.
+// duplicate-suppression floors are authoritative, and serves the det
+// requests of concurrently recovering peers from the restored state.
 func (n *Node) flushHeldApp() {
 	held := n.heldApp
 	n.heldApp = nil
@@ -764,6 +843,11 @@ func (n *Node) flushHeldApp() {
 		if n.seqTrack[m.Src].accept(m.SendSeq) {
 			n.recvQ = append(n.recvQ, m)
 		}
+	}
+	reqs := n.heldDetReqs
+	n.heldDetReqs = nil
+	for _, req := range reqs {
+		n.serveDetRequest(req)
 	}
 }
 
@@ -814,7 +898,8 @@ func (n *Node) PrepareRollback(crashed bool) {
 		n.stats.Recoveries++
 		n.recoveryStart = n.Now()
 	}
-	n.ep.Inbox.Drain()
+	n.recoveryEpoch++
+	n.drainForRecovery()
 	n.recvQ = nil
 	n.replayDets = nil
 	n.replayIdx = 0
@@ -837,6 +922,7 @@ func (n *Node) PrepareRollback(crashed bool) {
 	fetch.Kind = vproto.PktCkptFetch
 	fetch.Rank = n.rank
 	fetch.Epoch = -2 // latest complete wave
+	fetch.Incarnation = n.recoveryEpoch
 	n.SendPacket(n.CkptEndpoint, 32, fetch)
 	for !n.imageArrived {
 		n.WaitPacket()

@@ -29,6 +29,10 @@ type Config struct {
 	PerEvent sim.Time
 	// AckOverheadBytes is the ack packet size beyond the stable vector.
 	AckOverheadBytes int
+	// Explicit marks the config as intentionally complete: cluster.New
+	// replaces an all-zero Config with DefaultConfig unless this is set,
+	// so a deliberately free (zero-cost) service model stays zero.
+	Explicit bool
 }
 
 // DefaultConfig returns service costs calibrated so that a single Event
@@ -65,6 +69,10 @@ type Server struct {
 	// indicator).
 	MaxQueueLen int
 
+	// suspendedUntil models an outage: the select loop serves nothing
+	// before it (see Suspend).
+	suspendedUntil sim.Time
+
 	// group and serverIdx are set when the server belongs to a distributed
 	// Event Logger group (nil/0 for the classic single logger).
 	group     *Group
@@ -86,6 +94,18 @@ func New(k *sim.Kernel, net *netmodel.Network, endpoint, np int, cfg Config) *Se
 	return s
 }
 
+// Suspend takes the server offline for d of virtual time starting now,
+// modeling a crash-reboot of the Event Logger machine with its stable
+// array intact: requests already queued and requests arriving during the
+// outage are served only after it ends, so acknowledgments (and with them
+// piggyback elimination) lag until the backlog drains. Overlapping
+// suspensions extend the outage.
+func (s *Server) Suspend(d sim.Time) {
+	if until := s.k.Now() + d; until > s.suspendedUntil {
+		s.suspendedUntil = until
+	}
+}
+
 // run is the select loop: take one request, pay its service time, answer.
 func (s *Server) run(p *sim.Proc) {
 	for {
@@ -93,6 +113,11 @@ func (s *Server) run(p *sim.Proc) {
 			s.MaxQueueLen = qlen
 		}
 		d := s.ep.Inbox.Get(p)
+		// Re-check after waking: a Suspend landing mid-sleep extends the
+		// outage for the request in hand too.
+		for s.suspendedUntil > s.k.Now() {
+			p.Sleep(s.suspendedUntil - s.k.Now())
+		}
 		pkt := d.Payload.(*vproto.Packet)
 		switch pkt.Kind {
 		case vproto.PktEventLog:
@@ -123,6 +148,7 @@ func (s *Server) run(p *sim.Proc) {
 			resp.From = s.ep.ID()
 			resp.Determinants = dets
 			resp.StableVec = s.stableCopy()
+			resp.Incarnation = pkt.Incarnation // requester discards responses to a dead incarnation
 			s.ep.Send(pkt.From, event.FactoredSize(dets)+s.cfg.AckOverheadBytes+4*s.np, resp)
 
 		default:

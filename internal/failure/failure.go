@@ -16,6 +16,43 @@ import (
 // daemon finishes any recovery procedure.
 type Program func(n *daemon.Node)
 
+// EventKind classifies dispatcher lifecycle events (see Observe).
+type EventKind int
+
+// Dispatcher lifecycle events, in the order a fault produces them.
+const (
+	// EvKill: a fault was injected on the rank (its incarnation died).
+	EvKill EventKind = iota
+	// EvRestart: the rank's new incarnation started and entered recovery.
+	EvRestart
+	// EvRecovered: the recovery procedure finished; the program resumes.
+	EvRecovered
+	// EvFinished: the rank's program completed.
+	EvFinished
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvKill:
+		return "kill"
+	case EvRestart:
+		return "restart"
+	case EvRecovered:
+		return "recovered"
+	case EvFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one dispatcher lifecycle notification.
+type Event struct {
+	Kind EventKind
+	Rank int
+	Time sim.Time
+}
+
 // Dispatcher supervises the MPI run.
 type Dispatcher struct {
 	k        *sim.Kernel
@@ -31,6 +68,19 @@ type Dispatcher struct {
 	// gen guards against overlapping kill/restart races: a restart only
 	// fires if no newer kill superseded it.
 	gen []int64
+
+	// restarting[r] is true from a kill until the respawn fires;
+	// recovering[r] is true while the respawned incarnation executes its
+	// recovery procedure.
+	restarting []bool
+	recovering []bool
+
+	// launched flips at Launch; kills requested earlier are deferred.
+	launched     bool
+	pendingKills []int
+
+	// observers receive lifecycle events (fault-scenario engines, tests).
+	observers []func(Event)
 
 	// OnAllDone, when set, is invoked as soon as every program completes
 	// (typically kernel.Stop).
@@ -53,31 +103,90 @@ func NewDispatcher(k *sim.Kernel, nodes []*daemon.Node, programs []Program) *Dis
 		procs:        make([]*sim.Proc, len(nodes)),
 		RestartDelay: 250 * sim.Millisecond,
 		gen:          make([]int64, len(nodes)),
+		restarting:   make([]bool, len(nodes)),
+		recovering:   make([]bool, len(nodes)),
 	}
 }
 
-// Launch spawns every rank's initial incarnation.
+// Observe subscribes fn to the dispatcher's lifecycle event stream. Every
+// kill, restart, recovery completion and program completion is reported, in
+// kernel event order; observers run synchronously and must not call Kill
+// directly (schedule it through the kernel instead).
+func (d *Dispatcher) Observe(fn func(Event)) {
+	d.observers = append(d.observers, fn)
+}
+
+func (d *Dispatcher) emit(kind EventKind, r int) {
+	if len(d.observers) == 0 {
+		return
+	}
+	ev := Event{Kind: kind, Rank: r, Time: d.k.Now()}
+	for _, fn := range d.observers {
+		fn(ev)
+	}
+}
+
+// Launch spawns every rank's initial incarnation and applies any kills
+// requested before launch.
 func (d *Dispatcher) Launch() {
+	if d.launched {
+		panic("failure: Launch called twice")
+	}
+	d.launched = true
 	for r := range d.nodes {
 		d.spawn(r, false, false)
 	}
+	pending := d.pendingKills
+	d.pendingKills = nil
+	for _, r := range pending {
+		d.Kill(r)
+	}
 }
+
+// Launched reports whether Launch has run.
+func (d *Dispatcher) Launched() bool { return d.launched }
+
+// NP returns the number of supervised ranks.
+func (d *Dispatcher) NP() int { return len(d.nodes) }
+
+// Alive reports whether rank r currently has a spawned incarnation (it may
+// still be inside its recovery procedure — see Recovering). A rank is not
+// alive before Launch or inside the detection/relaunch window after a kill.
+func (d *Dispatcher) Alive(r int) bool { return d.launched && !d.restarting[r] }
+
+// Restarting reports whether rank r is inside the detection/relaunch
+// window: killed, with its respawn still pending.
+func (d *Dispatcher) Restarting(r int) bool { return d.restarting[r] }
+
+// Recovering reports whether rank r's current incarnation is executing its
+// recovery procedure (checkpoint restore, determinant collection, replay
+// installation) and has not yet resumed the program.
+func (d *Dispatcher) Recovering(r int) bool { return d.recovering[r] }
+
+// RankDone reports whether rank r's program has completed.
+func (d *Dispatcher) RankDone(r int) bool { return d.nodes[r].Done() }
 
 func (d *Dispatcher) spawn(r int, recovery, crashed bool) {
 	n := d.nodes[r]
 	prog := d.programs[r]
 	name := fmt.Sprintf("rank%d", r)
+	d.restarting[r] = false
 	d.procs[r] = d.k.Spawn(name, func(p *sim.Proc) {
 		n.Bind(p)
 		if recovery {
+			d.recovering[r] = true
+			d.emit(EvRestart, r)
 			if d.Coordinated {
 				n.PrepareRollback(crashed)
 			} else {
 				n.PrepareRecovery()
 			}
+			d.recovering[r] = false
+			d.emit(EvRecovered, r)
 		}
 		prog(n)
 		n.Finish()
+		d.emit(EvFinished, r)
 		if d.OnAllDone != nil && d.AllDone() {
 			d.OnAllDone()
 		}
@@ -96,14 +205,39 @@ func (d *Dispatcher) spawn(r int, recovery, crashed bool) {
 
 // Kill injects a fault on rank r: the process dies now and is relaunched
 // after RestartDelay. Under coordinated checkpointing every process is
-// rolled back.
+// rolled back. Killing a rank whose program already finished is a no-op:
+// its lingering daemon only serves peers, and respawning it would re-run
+// the completed program. A kill requested before Launch is deferred and
+// applied at launch time (covering fault schedules compiled before the
+// run exists). Killing a rank already inside its restart window is legal
+// and extends the outage: the gen guard cancels the superseded respawn.
 func (d *Dispatcher) Kill(r int) {
+	if r < 0 || r >= len(d.nodes) {
+		panic(fmt.Sprintf("failure: Kill(%d) out of range (np=%d)", r, len(d.nodes)))
+	}
+	if !d.launched {
+		d.pendingKills = append(d.pendingKills, r)
+		return
+	}
+	if d.nodes[r].Done() {
+		return
+	}
 	d.Kills++
 	if d.Coordinated {
+		// Rollback-all: every rank — including ones whose program already
+		// finished — returns to the last complete checkpoint wave, because
+		// the restored global state predates their completion.
 		for i := range d.procs {
 			d.gen[i]++
+			d.restarting[i] = true
+			d.recovering[i] = false
+			// A finished rank rolls back too: its completion is revoked
+			// now, so fault targeting sees it as running during the
+			// restart window rather than only once the respawn binds.
+			d.nodes[i].Unfinish()
 			d.procs[i].Kill()
 		}
+		d.emit(EvKill, r)
 		gen := append([]int64(nil), d.gen...)
 		d.k.After(d.RestartDelay, func() {
 			for i := range d.nodes {
@@ -116,7 +250,10 @@ func (d *Dispatcher) Kill(r int) {
 	}
 	d.gen[r]++
 	gen := d.gen[r]
+	d.restarting[r] = true
+	d.recovering[r] = false
 	d.procs[r].Kill()
+	d.emit(EvKill, r)
 	d.k.After(d.RestartDelay, func() {
 		if d.gen[r] == gen {
 			d.spawn(r, true, true)
@@ -134,8 +271,9 @@ func (d *Dispatcher) ScheduleFault(at sim.Time, r int) {
 }
 
 // PeriodicFaults kills one process every interval (cycling through the
-// ranks deterministically) until the application completes. This drives
-// the paper's Figure 1 fault-frequency sweep.
+// ranks deterministically, skipping ranks whose program already finished)
+// until the application completes. This drives the paper's Figure 1
+// fault-frequency sweep.
 func (d *Dispatcher) PeriodicFaults(interval sim.Time) {
 	if interval <= 0 {
 		return
@@ -146,8 +284,16 @@ func (d *Dispatcher) PeriodicFaults(interval sim.Time) {
 		if d.AllDone() {
 			return
 		}
-		d.Kill(victim)
-		victim = (victim + 1) % len(d.nodes)
+		// Cycle to the next rank that is still running: killing a finished
+		// rank would be skipped by Kill, silently dropping the fault.
+		for i := 0; i < len(d.nodes); i++ {
+			v := (victim + i) % len(d.nodes)
+			if !d.nodes[v].Done() {
+				d.Kill(v)
+				victim = (v + 1) % len(d.nodes)
+				break
+			}
+		}
 		d.k.After(interval, tick)
 	}
 	d.k.After(interval, tick)

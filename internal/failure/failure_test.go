@@ -87,7 +87,7 @@ func TestScheduleFaultKillsAndRestarts(t *testing.T) {
 	net.Endpoint(2).SetHandler(func(del netmodel.Delivery) {
 		pkt := del.Payload.(*vproto.Packet)
 		if pkt.Kind == vproto.PktCkptFetch {
-			net.Endpoint(2).Send(pkt.From, 32, &vproto.Packet{Kind: vproto.PktCkptImage, From: 2})
+			net.Endpoint(2).Send(pkt.From, 32, &vproto.Packet{Kind: vproto.PktCkptImage, From: 2, Incarnation: pkt.Incarnation})
 		}
 	})
 	for _, n := range nodes {
@@ -135,7 +135,7 @@ func TestPeriodicFaultsFireWhileRunning(t *testing.T) {
 	net.Endpoint(2).SetHandler(func(del netmodel.Delivery) {
 		pkt := del.Payload.(*vproto.Packet)
 		if pkt.Kind == vproto.PktCkptFetch {
-			net.Endpoint(2).Send(pkt.From, 32, &vproto.Packet{Kind: vproto.PktCkptImage, From: 2})
+			net.Endpoint(2).Send(pkt.From, 32, &vproto.Packet{Kind: vproto.PktCkptImage, From: 2, Incarnation: pkt.Incarnation})
 		}
 	})
 	nodes[0].CkptEndpoint = 2
@@ -160,6 +160,223 @@ func TestPeriodicFaultsStopWhenDone(t *testing.T) {
 	}
 	if d.Kills != 0 {
 		t.Fatalf("faults fired after completion: %d", d.Kills)
+	}
+}
+
+// installNilImageServer gives restarted incarnations a checkpoint server
+// that always answers "no image" (recovery from scratch).
+func installNilImageServer(nodes []*daemon.Node, endpoint int) {
+	net := nodes[0].Network()
+	net.Endpoint(endpoint).SetHandler(func(del netmodel.Delivery) {
+		pkt := del.Payload.(*vproto.Packet)
+		if pkt.Kind == vproto.PktCkptFetch {
+			net.Endpoint(endpoint).Send(pkt.From, 32, &vproto.Packet{Kind: vproto.PktCkptImage, From: endpoint, Incarnation: pkt.Incarnation})
+		}
+	})
+	for _, n := range nodes {
+		n.CkptEndpoint = endpoint
+	}
+}
+
+// TestKillFinishedRankIsSkipped is the regression test for the
+// finished-rank re-kill bug: killing a rank whose program already
+// completed used to respawn it and re-run the completed program,
+// inflating Kills/Restarts and the completion stats.
+func TestKillFinishedRankIsSkipped(t *testing.T) {
+	k, nodes := testWorld(t, 2)
+	installNilImageServer(nodes, 3)
+	runs := 0
+	progs := []Program{
+		func(n *daemon.Node) { runs++; n.Compute(sim.Millisecond) },
+		func(n *daemon.Node) { n.Compute(50 * sim.Millisecond) },
+	}
+	d := NewDispatcher(k, nodes, progs)
+	d.RestartDelay = 5 * sim.Millisecond
+	d.Launch()
+	// Rank 0 finishes at 1ms; the fault lands long after, while rank 1
+	// still runs (so AllDone is false and ScheduleFault does not filter).
+	d.ScheduleFault(20*sim.Millisecond, 0)
+	k.Run()
+	if runs != 1 {
+		t.Fatalf("finished rank re-ran its program %d times", runs)
+	}
+	if d.Kills != 0 || d.Restarts != 0 {
+		t.Fatalf("kills=%d restarts=%d after killing a finished rank, want 0/0", d.Kills, d.Restarts)
+	}
+}
+
+// TestKillBeforeLaunchIsDeferred is the regression test for the pre-launch
+// Kill nil-panic: a fault requested before Launch (a fault plan compiled
+// ahead of the run, a schedule at t=0) used to dereference a nil proc.
+func TestKillBeforeLaunchIsDeferred(t *testing.T) {
+	k, nodes := testWorld(t, 2)
+	installNilImageServer(nodes, 3)
+	progs := []Program{
+		func(n *daemon.Node) { n.Compute(10 * sim.Millisecond) },
+		func(n *daemon.Node) { n.Compute(10 * sim.Millisecond) },
+	}
+	d := NewDispatcher(k, nodes, progs)
+	d.RestartDelay = 5 * sim.Millisecond
+	d.Kill(0) // before Launch: must defer, not panic
+	if d.Kills != 0 {
+		t.Fatalf("pre-launch kill counted before launch: %d", d.Kills)
+	}
+	d.Launch()
+	k.Run()
+	if d.Kills != 1 || d.Restarts != 1 {
+		t.Fatalf("kills=%d restarts=%d, want 1/1", d.Kills, d.Restarts)
+	}
+	if !d.AllDone() {
+		t.Fatal("run did not complete after the deferred kill")
+	}
+	if nodes[0].Stats().Recoveries != 1 {
+		t.Fatalf("rank 0 recoveries = %d, want 1", nodes[0].Stats().Recoveries)
+	}
+}
+
+// TestPeriodicFaultsSkipFinishedRanks: the cycling victim selection must
+// pass over ranks whose program completed instead of wasting the tick.
+func TestPeriodicFaultsSkipFinishedRanks(t *testing.T) {
+	k, nodes := testWorld(t, 2)
+	installNilImageServer(nodes, 3)
+	runs0 := 0
+	progs := []Program{
+		func(n *daemon.Node) { runs0++; n.Compute(sim.Millisecond) },
+		func(n *daemon.Node) { n.Compute(100 * sim.Millisecond) },
+	}
+	d := NewDispatcher(k, nodes, progs)
+	d.RestartDelay = sim.Millisecond
+	d.Launch()
+	// Every tick would target rank 0 first; rank 0 is finished after 1ms,
+	// so every fault must cycle to rank 1.
+	d.PeriodicFaults(20 * sim.Millisecond)
+	k.RunUntil(200 * sim.Millisecond)
+	if runs0 != 1 {
+		t.Fatalf("finished rank 0 re-ran %d times", runs0)
+	}
+	if d.Kills < 3 {
+		t.Fatalf("faults stopped firing: kills=%d", d.Kills)
+	}
+}
+
+// TestKillWhileRestartingExtendsWindow: a second kill landing inside the
+// restart window must cancel the superseded respawn (gen guard) and
+// schedule a fresh one — exactly one incarnation comes back.
+func TestKillWhileRestartingExtendsWindow(t *testing.T) {
+	k, nodes := testWorld(t, 2)
+	installNilImageServer(nodes, 3)
+	progs := []Program{
+		func(n *daemon.Node) { n.Compute(100 * sim.Millisecond) },
+		func(n *daemon.Node) { n.Compute(100 * sim.Millisecond) },
+	}
+	d := NewDispatcher(k, nodes, progs)
+	d.RestartDelay = 10 * sim.Millisecond
+	var restarts []sim.Time
+	d.Observe(func(ev Event) {
+		if ev.Kind == EvRestart && ev.Rank == 0 {
+			restarts = append(restarts, ev.Time)
+		}
+	})
+	d.Launch()
+	d.ScheduleFault(20*sim.Millisecond, 0)
+	d.ScheduleFault(25*sim.Millisecond, 0) // inside the first restart window
+	k.Run()
+	if d.Kills != 2 {
+		t.Fatalf("kills = %d, want 2", d.Kills)
+	}
+	if d.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (first respawn superseded)", d.Restarts)
+	}
+	if len(restarts) != 1 || restarts[0] != 35*sim.Millisecond {
+		t.Fatalf("restart events %v, want exactly one at 35ms", restarts)
+	}
+	if !d.AllDone() {
+		t.Fatal("run did not complete")
+	}
+}
+
+// TestObserverEventStream checks the lifecycle sequence one fault
+// produces: kill → restart → recovered → finished, with liveness queries
+// agreeing at every stage.
+func TestObserverEventStream(t *testing.T) {
+	k, nodes := testWorld(t, 2)
+	installNilImageServer(nodes, 3)
+	progs := []Program{
+		func(n *daemon.Node) { n.Compute(50 * sim.Millisecond) },
+		func(n *daemon.Node) { n.Compute(5 * sim.Millisecond) },
+	}
+	d := NewDispatcher(k, nodes, progs)
+	d.RestartDelay = 10 * sim.Millisecond
+	var kinds []EventKind
+	d.Observe(func(ev Event) {
+		if ev.Rank != 0 {
+			return
+		}
+		kinds = append(kinds, ev.Kind)
+		switch ev.Kind {
+		case EvKill:
+			if d.Alive(0) || !d.Restarting(0) {
+				t.Errorf("at %v: EvKill but Alive=%v Restarting=%v", ev.Time, d.Alive(0), d.Restarting(0))
+			}
+		case EvRestart:
+			if !d.Alive(0) || !d.Recovering(0) {
+				t.Errorf("at %v: EvRestart but Alive=%v Recovering=%v", ev.Time, d.Alive(0), d.Recovering(0))
+			}
+		case EvRecovered:
+			if d.Recovering(0) {
+				t.Errorf("at %v: EvRecovered but still Recovering", ev.Time)
+			}
+		}
+	})
+	if d.Alive(0) {
+		t.Fatal("rank alive before Launch")
+	}
+	d.Launch()
+	d.ScheduleFault(20*sim.Millisecond, 0)
+	k.Run()
+	want := []EventKind{EvKill, EvRestart, EvRecovered, EvFinished}
+	if len(kinds) != len(want) {
+		t.Fatalf("event stream %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event stream %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestCoordinatedRollbackRevokesCompletion: rollback-all resurrects ranks
+// whose program already finished, so completion-based guards (RankDone,
+// fault targeting) must see them as running from the instant of the
+// rollback — not only once the respawned process binds.
+func TestCoordinatedRollbackRevokesCompletion(t *testing.T) {
+	k, nodes := testWorld(t, 2)
+	installNilImageServer(nodes, 3)
+	progs := []Program{
+		func(n *daemon.Node) { n.Compute(50 * sim.Millisecond) },
+		func(n *daemon.Node) { n.Compute(5 * sim.Millisecond) },
+	}
+	d := NewDispatcher(k, nodes, progs)
+	d.Coordinated = true
+	d.RestartDelay = 10 * sim.Millisecond
+	d.Launch()
+	d.ScheduleFault(20*sim.Millisecond, 0) // rank 1 finished at 5ms
+	probed := false
+	k.At(25*sim.Millisecond, func() { // inside the rollback restart window
+		probed = true
+		if d.RankDone(1) {
+			t.Error("finished rank still reports done inside the rollback-all restart window")
+		}
+	})
+	k.Run()
+	if !probed {
+		t.Fatal("probe never ran")
+	}
+	if !d.AllDone() {
+		t.Fatal("run did not complete after rollback")
+	}
+	if d.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2 (both ranks rolled back)", d.Restarts)
 	}
 }
 

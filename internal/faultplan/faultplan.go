@@ -1,0 +1,531 @@
+// Package faultplan compiles declarative multi-failure scenarios into
+// scheduled dispatcher actions. The paper's central claim is that causal
+// message logging keeps working under high fault rates; a Plan expresses
+// the fault environments that stress that claim — stochastic fault storms
+// (Poisson or uniform arrivals), correlated multi-rank kills (a switch or
+// power-rail failure), cascades triggered by recovery-path events (a second
+// fault landing inside another rank's restart window, a kill arriving
+// mid-checkpoint), and outages of the auxiliary stable servers (Event
+// Logger, checkpoint server).
+//
+// A Plan is pure data and read-only after Apply: the same Plan value can be
+// shared across every cell of a sweep. All stochastic draws come from
+// private per-component RNG streams derived from the plan seed (falling
+// back to the simulation seed), so a scenario is a deterministic function
+// of (plan, seed) alone — independent of sweep worker count and of every
+// other random decision in the simulation.
+package faultplan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/eventlogger"
+	"mpichv/internal/failure"
+	"mpichv/internal/sim"
+)
+
+// VictimPolicy selects which rank a scheduled fault lands on. Every policy
+// skips ranks whose program already finished (the dispatcher would ignore
+// the kill); ranks inside a restart window remain eligible — killing them
+// extends the outage, which is a scenario worth stressing.
+type VictimPolicy string
+
+// Victim policies.
+const (
+	// VictimRoundRobin cycles deterministically through the still-running
+	// ranks (the default).
+	VictimRoundRobin VictimPolicy = "rr"
+	// VictimRandom picks uniformly among the still-running ranks.
+	VictimRandom VictimPolicy = "random"
+	// VictimFixed always targets the component's Rank field.
+	VictimFixed VictimPolicy = "fixed"
+)
+
+// Storm is a stochastic fault-arrival process.
+type Storm struct {
+	// Key names the storm in diagnostics (optional).
+	Key string
+	// Poisson selects exponential inter-arrival times with mean
+	// MeanInterval; otherwise arrivals are uniform on
+	// [MinInterval, MaxInterval].
+	Poisson      bool
+	MeanInterval sim.Time
+	MinInterval  sim.Time
+	MaxInterval  sim.Time
+	// Start and End bound the active window. End 0 means "until the
+	// application completes".
+	Start sim.Time
+	End   sim.Time
+	// Victims selects the target rank per arrival (default round-robin);
+	// Rank is the VictimFixed target.
+	Victims VictimPolicy
+	Rank    int
+	// MaxKills caps the number of injected faults (0 = unlimited).
+	MaxKills int
+}
+
+// CorrelatedKill fells several ranks in the same instant — the model of a
+// shared failure domain (one switch, one power rail, one chassis).
+type CorrelatedKill struct {
+	At    sim.Time
+	Ranks []int
+}
+
+// Trigger names the recovery-path events a Cascade can fire on.
+type Trigger string
+
+// Cascade triggers.
+const (
+	// OnKill fires when a fault is injected on a rank. With a Delay below
+	// the dispatcher's RestartDelay, the cascaded fault lands inside the
+	// trigger rank's restart window.
+	OnKill Trigger = "kill"
+	// OnRestart fires when a rank's new incarnation starts its recovery
+	// procedure; a short Delay lands the cascaded fault while the trigger
+	// rank is still collecting its checkpoint image and determinants.
+	OnRestart Trigger = "restart"
+	// OnRecovered fires when a rank's recovery procedure completes.
+	OnRecovered Trigger = "recovered"
+	// OnCheckpointWave fires when the checkpoint scheduler issues a wave;
+	// a small Delay lands the cascaded fault mid-checkpoint, while images
+	// are being built and stored.
+	OnCheckpointWave Trigger = "ckpt-wave"
+)
+
+// OnlyRank encodes a cascade trigger-rank filter: Cascade.OfRank's zero
+// value matches every rank, so "only rank r" is stored as r+1.
+func OnlyRank(r int) int { return r + 1 }
+
+// Cascade schedules a follow-on fault Delay after a trigger event.
+type Cascade struct {
+	// Key names the cascade in diagnostics (optional).
+	Key     string
+	Trigger Trigger
+	// OfRank filters the trigger: the zero value matches events of every
+	// rank; OnlyRank(r) restricts to rank r. Ignored for
+	// OnCheckpointWave, which has no rank.
+	OfRank int
+	// Delay separates the trigger from the cascaded fault.
+	Delay sim.Time
+	// Probability is the chance the cascade fires per trigger event in
+	// (0, 1); 0 (the zero value) and 1 both mean "always".
+	Probability float64
+	// Victims selects the cascaded fault's target; Rank is the
+	// VictimFixed target.
+	Victims VictimPolicy
+	Rank    int
+	// MaxFires caps how many trigger events launch the cascade
+	// (0 = unlimited). Unlimited self-targeting cascades recur until the
+	// run's virtual-time cap; cap them in bounded experiments.
+	MaxFires int
+}
+
+// OutageTarget names the stable services a plan can take down.
+type OutageTarget string
+
+// Outage targets.
+const (
+	// OutageEventLogger suspends every deployed Event Logger server. A
+	// plan applied to a deployment without an Event Logger skips the
+	// outage (counted in Engine.OutagesSkipped) so one plan can sweep
+	// across stacks with and without the EL.
+	OutageEventLogger OutageTarget = "eventlogger"
+	// OutageCkptServer suspends the checkpoint server.
+	OutageCkptServer OutageTarget = "ckptserver"
+)
+
+// Outage takes a stable service offline for a window: requests arriving
+// during it are served only once it ends (crash-reboot with stable storage
+// intact).
+type Outage struct {
+	Target   OutageTarget
+	At       sim.Time
+	Duration sim.Time
+}
+
+// Plan is a declarative multi-failure scenario. The zero value injects
+// nothing.
+type Plan struct {
+	// Seed drives every stochastic draw of this plan. 0 falls back to the
+	// simulation seed (Targets.Seed), giving each sweep cell an
+	// independent sample path.
+	Seed       int64
+	Storms     []Storm
+	Correlated []CorrelatedKill
+	Cascades   []Cascade
+	Outages    []Outage
+}
+
+// Validate checks the plan's shape against the given rank count (np <= 0
+// skips range checks). It is called by Apply; exported so specs can be
+// checked when they are built rather than when the simulation starts.
+func (p *Plan) Validate(np int) error {
+	checkRank := func(what string, r int) error {
+		if r < 0 || (np > 0 && r >= np) {
+			return fmt.Errorf("faultplan: %s rank %d out of range (np=%d)", what, r, np)
+		}
+		return nil
+	}
+	for i, s := range p.Storms {
+		if s.Poisson {
+			if s.MeanInterval <= 0 {
+				return fmt.Errorf("faultplan: storm %d: Poisson storm needs MeanInterval > 0", i)
+			}
+		} else if s.MinInterval <= 0 || s.MaxInterval < s.MinInterval {
+			return fmt.Errorf("faultplan: storm %d: uniform storm needs 0 < MinInterval <= MaxInterval", i)
+		}
+		if s.End != 0 && s.End < s.Start {
+			return fmt.Errorf("faultplan: storm %d: End %v before Start %v", i, s.End, s.Start)
+		}
+		if err := validVictims(s.Victims); err != nil {
+			return fmt.Errorf("faultplan: storm %d: %v", i, err)
+		}
+		if s.Victims == VictimFixed {
+			if err := checkRank(fmt.Sprintf("storm %d victim", i), s.Rank); err != nil {
+				return err
+			}
+		}
+	}
+	for i, c := range p.Correlated {
+		if c.At < 0 {
+			return fmt.Errorf("faultplan: correlated kill %d: negative At", i)
+		}
+		if len(c.Ranks) == 0 {
+			return fmt.Errorf("faultplan: correlated kill %d: no ranks", i)
+		}
+		for _, r := range c.Ranks {
+			if err := checkRank(fmt.Sprintf("correlated kill %d", i), r); err != nil {
+				return err
+			}
+		}
+	}
+	for i, c := range p.Cascades {
+		switch c.Trigger {
+		case OnKill, OnRestart, OnRecovered, OnCheckpointWave:
+		default:
+			return fmt.Errorf("faultplan: cascade %d: unknown trigger %q", i, c.Trigger)
+		}
+		if c.OfRank < 0 {
+			return fmt.Errorf("faultplan: cascade %d: negative OfRank %d (0 matches any rank; use OnlyRank(r) to filter)", i, c.OfRank)
+		}
+		if c.OfRank != 0 && c.Trigger != OnCheckpointWave {
+			if err := checkRank(fmt.Sprintf("cascade %d trigger (OnlyRank)", i), c.OfRank-1); err != nil {
+				return err
+			}
+		}
+		if c.Delay < 0 {
+			return fmt.Errorf("faultplan: cascade %d: negative Delay", i)
+		}
+		// An unbounded kill-triggered cascade with zero delay re-kills at
+		// the same virtual instant forever: time never advances, so
+		// neither the virtual cap nor the harness watchdog (both kernel
+		// events) can fire. Demand a bound.
+		if c.Trigger == OnKill && c.Delay == 0 && c.MaxFires == 0 {
+			return fmt.Errorf("faultplan: cascade %d: OnKill with Delay 0 and unlimited MaxFires would livelock at one instant; set Delay > 0 or MaxFires > 0", i)
+		}
+		if c.Probability < 0 || c.Probability > 1 {
+			return fmt.Errorf("faultplan: cascade %d: Probability %v outside [0, 1]", i, c.Probability)
+		}
+		if err := validVictims(c.Victims); err != nil {
+			return fmt.Errorf("faultplan: cascade %d: %v", i, err)
+		}
+		if c.Victims == VictimFixed {
+			if err := checkRank(fmt.Sprintf("cascade %d victim", i), c.Rank); err != nil {
+				return err
+			}
+		}
+	}
+	for i, o := range p.Outages {
+		switch o.Target {
+		case OutageEventLogger, OutageCkptServer:
+		default:
+			return fmt.Errorf("faultplan: outage %d: unknown target %q", i, o.Target)
+		}
+		if o.At < 0 || o.Duration <= 0 {
+			return fmt.Errorf("faultplan: outage %d: needs At >= 0 and Duration > 0", i)
+		}
+	}
+	return nil
+}
+
+func validVictims(v VictimPolicy) error {
+	switch v {
+	case "", VictimRoundRobin, VictimRandom, VictimFixed:
+		return nil
+	}
+	return fmt.Errorf("unknown victim policy %q", v)
+}
+
+// Targets is the running deployment a plan attaches to. Kernel and
+// Dispatcher are required; the rest may be nil/empty when the deployment
+// lacks them.
+type Targets struct {
+	Kernel     *sim.Kernel
+	Dispatcher *failure.Dispatcher
+	// Scheduler feeds OnCheckpointWave cascades (nil: such cascades never
+	// fire).
+	Scheduler *checkpoint.Scheduler
+	// EventLoggers are suspended by OutageEventLogger (empty: skipped).
+	EventLoggers []*eventlogger.Server
+	// CkptServer is suspended by OutageCkptServer (nil: skipped).
+	CkptServer *checkpoint.Server
+	// Seed is the fallback RNG seed when the plan's own Seed is 0.
+	Seed int64
+}
+
+// Engine is a plan compiled onto a deployment: it owns all mutable
+// scenario state (RNG streams, cursors, counters) so the Plan itself stays
+// shareable. The exported counters classify every injected fault.
+type Engine struct {
+	plan *Plan
+	t    Targets
+	seed int64
+
+	stormRng    []*rand.Rand
+	stormCursor []int
+	stormKills  []int
+
+	cascadeRng    []*rand.Rand
+	cascadeCursor []int
+	cascadeFires  []int
+
+	// StormKills, CorrelatedKills and CascadeKills count injected faults
+	// by scenario component; OutagesApplied and OutagesSkipped count
+	// outage windows; VictimMisses counts injections dropped because no
+	// eligible victim remained.
+	StormKills      int64
+	CorrelatedKills int64
+	CascadeKills    int64
+	OutagesApplied  int64
+	OutagesSkipped  int64
+	VictimMisses    int64
+}
+
+// Apply validates the plan and compiles it onto the deployment: storms and
+// correlated kills become kernel events, cascades subscribe to the
+// dispatcher's lifecycle stream (and the scheduler's wave stream), outages
+// schedule service suspensions. Call it after the dispatcher exists and
+// before the kernel runs; kills that fire before Launch are deferred by the
+// dispatcher to launch time.
+func Apply(t Targets, p *Plan) (*Engine, error) {
+	if t.Kernel == nil || t.Dispatcher == nil {
+		return nil, fmt.Errorf("faultplan: Apply needs a kernel and a dispatcher")
+	}
+	if err := p.Validate(t.Dispatcher.NP()); err != nil {
+		return nil, err
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = t.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	e := &Engine{
+		plan: p, t: t, seed: seed,
+		stormRng:      make([]*rand.Rand, len(p.Storms)),
+		stormCursor:   make([]int, len(p.Storms)),
+		stormKills:    make([]int, len(p.Storms)),
+		cascadeRng:    make([]*rand.Rand, len(p.Cascades)),
+		cascadeCursor: make([]int, len(p.Cascades)),
+		cascadeFires:  make([]int, len(p.Cascades)),
+	}
+	for i := range p.Storms {
+		e.stormRng[i] = subRNG(seed, fmt.Sprintf("storm|%d|%s", i, p.Storms[i].Key))
+		e.startStorm(i)
+	}
+	for i := range p.Cascades {
+		e.cascadeRng[i] = subRNG(seed, fmt.Sprintf("cascade|%d|%s", i, p.Cascades[i].Key))
+	}
+	for _, ck := range p.Correlated {
+		ranks := ck.Ranks
+		t.Kernel.At(ck.At, func() {
+			if e.t.Dispatcher.AllDone() {
+				return
+			}
+			for _, r := range ranks {
+				if !e.t.Dispatcher.RankDone(r) {
+					e.t.Dispatcher.Kill(r)
+					e.CorrelatedKills++
+				} else {
+					e.VictimMisses++
+				}
+			}
+		})
+	}
+	if len(p.Cascades) > 0 {
+		t.Dispatcher.Observe(e.onDispatcherEvent)
+		if t.Scheduler != nil {
+			t.Scheduler.ObserveWaves(func(int) { e.fireCascades(OnCheckpointWave, -1) })
+		}
+	}
+	for _, o := range p.Outages {
+		o := o
+		t.Kernel.At(o.At, func() { e.applyOutage(o) })
+	}
+	return e, nil
+}
+
+// subRNG derives an independent deterministic stream per plan component,
+// so one component's draw count never perturbs another's sample path.
+func subRNG(seed int64, stream string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, stream)
+	s := int64(h.Sum64() & (1<<63 - 1))
+	if s == 0 {
+		s = 1
+	}
+	return rand.New(rand.NewSource(s))
+}
+
+func (e *Engine) startStorm(i int) {
+	s := e.plan.Storms[i]
+	rng := e.stormRng[i]
+	draw := func() sim.Time {
+		if s.Poisson {
+			return sim.Time(rng.ExpFloat64() * float64(s.MeanInterval))
+		}
+		span := int64(s.MaxInterval - s.MinInterval)
+		if span <= 0 {
+			return s.MinInterval
+		}
+		return s.MinInterval + sim.Time(rng.Int63n(span+1))
+	}
+	var arrive func()
+	arrive = func() {
+		d := e.t.Dispatcher
+		if d.AllDone() {
+			return
+		}
+		if s.End > 0 && e.t.Kernel.Now() > s.End {
+			return
+		}
+		if v := e.pickVictim(s.Victims, s.Rank, &e.stormCursor[i], rng); v >= 0 {
+			d.Kill(v)
+			e.StormKills++
+			e.stormKills[i]++
+		} else {
+			e.VictimMisses++
+		}
+		if s.MaxKills > 0 && e.stormKills[i] >= s.MaxKills {
+			return
+		}
+		e.t.Kernel.After(draw(), arrive)
+	}
+	e.t.Kernel.At(s.Start+draw(), arrive)
+}
+
+func (e *Engine) onDispatcherEvent(ev failure.Event) {
+	var trig Trigger
+	switch ev.Kind {
+	case failure.EvKill:
+		trig = OnKill
+	case failure.EvRestart:
+		trig = OnRestart
+	case failure.EvRecovered:
+		trig = OnRecovered
+	default:
+		return
+	}
+	e.fireCascades(trig, ev.Rank)
+}
+
+// fireCascades launches every cascade matching the trigger. The cascaded
+// kill always goes through a kernel event — never synchronously — because
+// triggers can fire from inside Kill itself or from a simulated process
+// context.
+func (e *Engine) fireCascades(trig Trigger, rank int) {
+	for i := range e.plan.Cascades {
+		c := &e.plan.Cascades[i]
+		if c.Trigger != trig {
+			continue
+		}
+		if c.OfRank != 0 && rank >= 0 && c.OfRank != OnlyRank(rank) {
+			continue
+		}
+		if c.MaxFires > 0 && e.cascadeFires[i] >= c.MaxFires {
+			continue
+		}
+		if c.Probability > 0 && c.Probability < 1 && e.cascadeRng[i].Float64() >= c.Probability {
+			continue
+		}
+		e.cascadeFires[i]++
+		idx := i
+		e.t.Kernel.After(c.Delay, func() {
+			d := e.t.Dispatcher
+			if d.AllDone() {
+				return
+			}
+			if v := e.pickVictim(c.Victims, c.Rank, &e.cascadeCursor[idx], e.cascadeRng[idx]); v >= 0 {
+				d.Kill(v)
+				e.CascadeKills++
+			} else {
+				e.VictimMisses++
+			}
+		})
+	}
+}
+
+// pickVictim resolves a victim policy against the current run state,
+// returning -1 when no eligible rank remains. Eligible means "program
+// still running": restarting ranks stay in the pool (killing them extends
+// their outage), finished ranks leave it.
+func (e *Engine) pickVictim(pol VictimPolicy, fixed int, cursor *int, rng *rand.Rand) int {
+	d := e.t.Dispatcher
+	np := d.NP()
+	switch pol {
+	case VictimFixed:
+		if !d.RankDone(fixed) {
+			return fixed
+		}
+		return -1
+	case VictimRandom:
+		var candidates []int
+		for r := 0; r < np; r++ {
+			if !d.RankDone(r) {
+				candidates = append(candidates, r)
+			}
+		}
+		if len(candidates) == 0 {
+			return -1
+		}
+		return candidates[rng.Intn(len(candidates))]
+	default: // VictimRoundRobin
+		for i := 0; i < np; i++ {
+			r := (*cursor + i) % np
+			if !d.RankDone(r) {
+				*cursor = (r + 1) % np
+				return r
+			}
+		}
+		return -1
+	}
+}
+
+func (e *Engine) applyOutage(o Outage) {
+	switch o.Target {
+	case OutageEventLogger:
+		if len(e.t.EventLoggers) == 0 {
+			e.OutagesSkipped++
+			return
+		}
+		for _, el := range e.t.EventLoggers {
+			el.Suspend(o.Duration)
+		}
+	case OutageCkptServer:
+		if e.t.CkptServer == nil {
+			e.OutagesSkipped++
+			return
+		}
+		e.t.CkptServer.Suspend(o.Duration)
+	}
+	e.OutagesApplied++
+}
+
+// InjectedKills sums every fault the engine injected.
+func (e *Engine) InjectedKills() int64 {
+	return e.StormKills + e.CorrelatedKills + e.CascadeKills
+}

@@ -1,0 +1,286 @@
+package faultplan_test
+
+import (
+	"testing"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/daemon"
+	"mpichv/internal/failure"
+	"mpichv/internal/faultplan"
+	"mpichv/internal/mpi"
+	"mpichv/internal/sim"
+	"mpichv/internal/trace"
+)
+
+// ringPrograms is the standard fault-tolerance exercise: compute + ring
+// exchange with a periodic all-reduce.
+func ringPrograms(np, iters, bytes int) []failure.Program {
+	progs := make([]failure.Program, np)
+	for r := 0; r < np; r++ {
+		progs[r] = func(n *daemon.Node) {
+			c := mpi.NewComm(n)
+			right := (c.Rank() + 1) % np
+			left := (c.Rank() - 1 + np) % np
+			for it := 0; it < iters; it++ {
+				c.Compute(200 * sim.Microsecond)
+				c.Send(right, 1, bytes)
+				c.Recv(left, 1)
+				if it%5 == 4 {
+					c.Allreduce(16)
+				}
+			}
+		}
+	}
+	return progs
+}
+
+// faultedConfig is a 4-rank Vcausal deployment with checkpointing tight
+// enough that restarts make progress.
+func faultedConfig(plan *faultplan.Plan, seed int64) cluster.Config {
+	return cluster.Config{
+		NP: 4, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 5 * sim.Millisecond,
+		RestartDelay:  15 * sim.Millisecond,
+		AppStateBytes: 64 << 10,
+		Faults:        plan,
+		Seed:          seed,
+	}
+}
+
+// runPlan executes the deployment to completion and returns the cluster.
+func runPlan(t *testing.T, cfg cluster.Config, iters int) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(cfg)
+	d := c.PrepareRun(ringPrograms(cfg.NP, iters, 256))
+	d.Launch()
+	c.RunLaunched(30 * sim.Minute)
+	return c
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []faultplan.Plan{
+		{Storms: []faultplan.Storm{{Poisson: true}}},
+		{Storms: []faultplan.Storm{{MinInterval: 0, MaxInterval: sim.Second}}},
+		{Storms: []faultplan.Storm{{MinInterval: 2 * sim.Second, MaxInterval: sim.Second}}},
+		{Storms: []faultplan.Storm{{Poisson: true, MeanInterval: sim.Second, Start: sim.Second, End: sim.Millisecond}}},
+		{Storms: []faultplan.Storm{{Poisson: true, MeanInterval: sim.Second, Victims: "nearest"}}},
+		{Storms: []faultplan.Storm{{Poisson: true, MeanInterval: sim.Second, Victims: faultplan.VictimFixed, Rank: 99}}},
+		{Correlated: []faultplan.CorrelatedKill{{At: sim.Second}}},
+		{Correlated: []faultplan.CorrelatedKill{{At: sim.Second, Ranks: []int{12}}}},
+		{Cascades: []faultplan.Cascade{{Trigger: "reboot"}}},
+		{Cascades: []faultplan.Cascade{{Trigger: faultplan.OnKill, Delay: -sim.Second}}},
+		{Cascades: []faultplan.Cascade{{Trigger: faultplan.OnKill, OfRank: -1}}},
+		{Cascades: []faultplan.Cascade{{Trigger: faultplan.OnKill, Probability: 1.5}}},
+		{Cascades: []faultplan.Cascade{{Trigger: faultplan.OnRestart, OfRank: faultplan.OnlyRank(9)}}},
+		// Unbounded OnKill cascade with zero delay: would re-kill at the
+		// same virtual instant forever (livelock).
+		{Cascades: []faultplan.Cascade{{Trigger: faultplan.OnKill}}},
+		{Outages: []faultplan.Outage{{Target: "scheduler", At: 0, Duration: sim.Second}}},
+		{Outages: []faultplan.Outage{{Target: faultplan.OutageCkptServer, At: 0, Duration: 0}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(4); err == nil {
+			t.Errorf("plan %d: Validate accepted an invalid plan", i)
+		}
+	}
+	good := faultplan.Plan{
+		Storms:     []faultplan.Storm{{Poisson: true, MeanInterval: sim.Second}},
+		Correlated: []faultplan.CorrelatedKill{{At: sim.Second, Ranks: []int{0, 1}}},
+		Cascades:   []faultplan.Cascade{{Trigger: faultplan.OnRestart, Probability: 0.5}},
+		Outages:    []faultplan.Outage{{Target: faultplan.OutageEventLogger, At: sim.Second, Duration: sim.Second}},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("Validate rejected a valid plan: %v", err)
+	}
+}
+
+func TestInvalidPlanPanicsAtPrepareRun(t *testing.T) {
+	cfg := faultedConfig(&faultplan.Plan{Storms: []faultplan.Storm{{Poisson: true}}}, 1)
+	c := cluster.New(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrepareRun accepted an invalid fault plan")
+		}
+	}()
+	c.PrepareRun(ringPrograms(cfg.NP, 10, 256))
+}
+
+// TestPoissonStormDeterministic runs the same Poisson storm twice and
+// demands identical trajectories: same completion time, same kill count,
+// same aggregate stats.
+func TestPoissonStormDeterministic(t *testing.T) {
+	plan := &faultplan.Plan{
+		Storms: []faultplan.Storm{{
+			Poisson: true, MeanInterval: 40 * sim.Millisecond,
+			Victims: faultplan.VictimRandom,
+		}},
+	}
+	type outcome struct {
+		end   sim.Time
+		kills int64
+		stats trace.Stats
+	}
+	run := func() outcome {
+		c := runPlan(t, faultedConfig(plan, 7), 150)
+		return outcome{end: c.K.Now(), kills: c.Dispatcher.Kills, stats: c.AggregateStats()}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same plan+seed diverged:\n  a=%+v\n  b=%+v", a, b)
+	}
+	if a.kills == 0 {
+		t.Fatal("storm injected no faults")
+	}
+	// A different seed must follow a different sample path.
+	c := runPlan(t, faultedConfig(plan, 8), 150)
+	if c.K.Now() == a.end && c.Dispatcher.Kills == a.kills {
+		t.Fatal("different seeds produced an identical trajectory")
+	}
+}
+
+func TestUniformStormWindowAndCap(t *testing.T) {
+	plan := &faultplan.Plan{
+		Storms: []faultplan.Storm{{
+			MinInterval: 10 * sim.Millisecond, MaxInterval: 20 * sim.Millisecond,
+			Start: 20 * sim.Millisecond, MaxKills: 2,
+		}},
+	}
+	c := runPlan(t, faultedConfig(plan, 3), 150)
+	if got := c.Faults.StormKills; got != 2 {
+		t.Fatalf("MaxKills=2 storm injected %d faults", got)
+	}
+	if c.Dispatcher.Kills != 2 {
+		t.Fatalf("dispatcher saw %d kills, want 2", c.Dispatcher.Kills)
+	}
+}
+
+// TestCorrelatedKillAndCascade exercises a multi-rank kill whose recovery
+// triggers a cascaded fault on a third rank — landing inside the
+// recovering ranks' restart/recovery window.
+func TestCorrelatedKillAndCascade(t *testing.T) {
+	plan := &faultplan.Plan{
+		Correlated: []faultplan.CorrelatedKill{{At: 30 * sim.Millisecond, Ranks: []int{0, 1}}},
+		Cascades: []faultplan.Cascade{{
+			Trigger: faultplan.OnRestart, OfRank: faultplan.OnlyRank(0),
+			Delay:   sim.Millisecond,
+			Victims: faultplan.VictimFixed, Rank: 2,
+			MaxFires: 1,
+		}},
+	}
+	c := runPlan(t, faultedConfig(plan, 5), 150)
+	if c.Faults.CorrelatedKills != 2 {
+		t.Fatalf("correlated kills = %d, want 2", c.Faults.CorrelatedKills)
+	}
+	if c.Faults.CascadeKills != 1 {
+		t.Fatalf("cascade kills = %d, want 1", c.Faults.CascadeKills)
+	}
+	if c.Dispatcher.Restarts < 3 {
+		t.Fatalf("restarts = %d, want >= 3", c.Dispatcher.Restarts)
+	}
+}
+
+func TestCheckpointWaveCascade(t *testing.T) {
+	plan := &faultplan.Plan{
+		Cascades: []faultplan.Cascade{{
+			Trigger:  faultplan.OnCheckpointWave,
+			Delay:    200 * sim.Microsecond, // lands while the image is stored
+			MaxFires: 1,
+		}},
+	}
+	c := runPlan(t, faultedConfig(plan, 11), 150)
+	if c.Faults.CascadeKills != 1 {
+		t.Fatalf("ckpt-wave cascade kills = %d, want 1", c.Faults.CascadeKills)
+	}
+}
+
+func TestCascadeProbabilityZeroOneSemantics(t *testing.T) {
+	// Probability 0 (zero value) means "always": with one trigger the
+	// cascade must fire.
+	always := &faultplan.Plan{
+		Correlated: []faultplan.CorrelatedKill{{At: 30 * sim.Millisecond, Ranks: []int{0}}},
+		Cascades: []faultplan.Cascade{{
+			Trigger: faultplan.OnRecovered, OfRank: faultplan.OnlyRank(0),
+			Victims: faultplan.VictimFixed, Rank: 1, MaxFires: 1,
+		}},
+	}
+	c := runPlan(t, faultedConfig(always, 2), 150)
+	if c.Faults.CascadeKills != 1 {
+		t.Fatalf("probability-0 cascade fired %d times, want 1", c.Faults.CascadeKills)
+	}
+}
+
+func TestEventLoggerOutageDelaysAcks(t *testing.T) {
+	outage := &faultplan.Plan{
+		Outages: []faultplan.Outage{{
+			Target: faultplan.OutageEventLogger,
+			At:     10 * sim.Millisecond, Duration: 60 * sim.Millisecond,
+		}},
+	}
+	base := runPlan(t, faultedConfig(nil, 1), 120)
+	hit := runPlan(t, faultedConfig(outage, 1), 120)
+	if hit.Faults.OutagesApplied != 1 {
+		t.Fatalf("outages applied = %d, want 1", hit.Faults.OutagesApplied)
+	}
+	// While the EL is down acknowledgments stall, so piggyback elimination
+	// lags and more determinant bytes ride on application messages.
+	if hit.AggregateStats().PiggybackBytes <= base.AggregateStats().PiggybackBytes {
+		t.Fatalf("EL outage should increase piggyback volume: with=%d without=%d",
+			hit.AggregateStats().PiggybackBytes, base.AggregateStats().PiggybackBytes)
+	}
+}
+
+func TestOutageSkippedWithoutService(t *testing.T) {
+	plan := &faultplan.Plan{
+		Outages: []faultplan.Outage{{
+			Target: faultplan.OutageEventLogger,
+			At:     10 * sim.Millisecond, Duration: 20 * sim.Millisecond,
+		}},
+	}
+	cfg := cluster.Config{
+		NP: 2, Stack: cluster.StackVdummy, Faults: plan, Seed: 1,
+	}
+	c := runPlan(t, cfg, 50)
+	if c.Faults.OutagesApplied != 0 || c.Faults.OutagesSkipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 0/1",
+			c.Faults.OutagesApplied, c.Faults.OutagesSkipped)
+	}
+}
+
+// TestVictimPoliciesSkipFinishedRanks drives a fixed-victim storm at a
+// rank that finishes quickly: every arrival after its completion must be
+// recorded as a miss, not re-kill the finished program.
+func TestVictimPoliciesSkipFinishedRanks(t *testing.T) {
+	plan := &faultplan.Plan{
+		Storms: []faultplan.Storm{{
+			MinInterval: 30 * sim.Millisecond, MaxInterval: 30 * sim.Millisecond,
+			Victims: faultplan.VictimFixed, Rank: 1,
+		}},
+	}
+	cfg := cluster.Config{NP: 2, Stack: cluster.StackVdummy, Faults: plan, Seed: 1}
+	c := cluster.New(cfg)
+	runs := 0
+	progs := []failure.Program{
+		func(n *daemon.Node) { // rank 0: long
+			for i := 0; i < 400; i++ {
+				n.Compute(sim.Millisecond)
+			}
+		},
+		func(n *daemon.Node) { // rank 1: finishes before the first arrival
+			runs++
+			n.Compute(sim.Millisecond)
+		},
+	}
+	d := c.PrepareRun(progs)
+	d.Launch()
+	c.RunLaunched(30 * sim.Minute)
+	if runs != 1 {
+		t.Fatalf("finished rank re-ran %d times", runs)
+	}
+	if c.Faults.StormKills != 0 {
+		t.Fatalf("storm killed a finished rank %d times", c.Faults.StormKills)
+	}
+	if c.Faults.VictimMisses == 0 {
+		t.Fatal("expected victim misses once the fixed target finished")
+	}
+}

@@ -16,6 +16,15 @@ const (
 	// ProbeRecoveryEventNs is rank 0's determinant-collection time during
 	// recovery, in virtual nanoseconds (Figure 10's quantity).
 	ProbeRecoveryEventNs = "rank0_recovery_event_ns"
+	// ProbeKills is the number of faults the cell's dispatcher injected.
+	ProbeKills = "kills"
+	// ProbeRestarts is the number of process relaunches the cell's
+	// dispatcher performed.
+	ProbeRestarts = "restarts"
+	// ProbePlanKills is the number of faults injected by the cell's fault
+	// plan (0 when the variant carries none); it differs from ProbeKills
+	// when FaultAt/FaultEvery compose with a plan.
+	ProbePlanKills = "plan_kills"
 )
 
 // probeFuncs maps probe names to their collectors.
@@ -28,6 +37,18 @@ var probeFuncs = map[string]func(*cluster.Cluster) float64{
 	},
 	ProbeRecoveryEventNs: func(c *cluster.Cluster) float64 {
 		return float64(c.Nodes[0].Stats().RecoveryEventCollection)
+	},
+	ProbeKills: func(c *cluster.Cluster) float64 {
+		return float64(c.Dispatcher.Kills)
+	},
+	ProbeRestarts: func(c *cluster.Cluster) float64 {
+		return float64(c.Dispatcher.Restarts)
+	},
+	ProbePlanKills: func(c *cluster.Cluster) float64 {
+		if c.Faults == nil {
+			return 0
+		}
+		return float64(c.Faults.InjectedKills())
 	},
 }
 

@@ -15,6 +15,7 @@ import (
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
 	"mpichv/internal/eventlogger"
+	"mpichv/internal/faultplan"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
 	"mpichv/internal/workload"
@@ -107,6 +108,11 @@ type Variant struct {
 	// every FaultEvery (either may be zero).
 	FaultAt    sim.Time
 	FaultEvery sim.Time
+	// Faults is a declarative multi-failure scenario (storms, correlated
+	// kills, cascades, server outages) compiled onto the cell's
+	// dispatcher; it composes with FaultAt/FaultEvery. The plan is
+	// read-only and safely shared by every cell referencing the variant.
+	Faults *faultplan.Plan
 	// RestartDelay models detection plus relaunch (0 = cluster default).
 	RestartDelay sim.Time
 
@@ -211,6 +217,7 @@ func (s *SweepSpec) Cells() []Cell {
 					UseEL:        st.UseEL,
 					CkptPolicy:   v.CkptPolicy,
 					CkptInterval: v.CkptInterval,
+					Faults:       v.Faults,
 					RestartDelay: v.RestartDelay,
 					EventLoggers: v.EventLoggers,
 					ELSync:       v.ELSync,

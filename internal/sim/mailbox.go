@@ -133,15 +133,3 @@ func (m *Mailbox[T]) TryGet() (T, bool) {
 
 // Len reports the number of queued items.
 func (m *Mailbox[T]) Len() int { return m.count }
-
-// Drain removes and returns all queued items.
-func (m *Mailbox[T]) Drain() []T {
-	if m.count == 0 {
-		return nil
-	}
-	out := make([]T, m.count)
-	for i := range out {
-		out[i] = m.pop()
-	}
-	return out
-}

@@ -103,20 +103,6 @@ func TestMailboxKilledWaiterDoesNotEatWakeup(t *testing.T) {
 	}
 }
 
-func TestMailboxDrain(t *testing.T) {
-	k := NewKernel(1)
-	mb := NewMailbox[int](k)
-	mb.Put(1)
-	mb.Put(2)
-	out := mb.Drain()
-	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
-		t.Fatalf("Drain = %v, want [1 2]", out)
-	}
-	if mb.Len() != 0 {
-		t.Fatalf("Len = %d after Drain, want 0", mb.Len())
-	}
-}
-
 func TestMailboxPendingItemsSurviveWaiterChurn(t *testing.T) {
 	// Two puts land while two consumers are parked: both must be served at
 	// the put instant, in order.

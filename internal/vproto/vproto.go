@@ -120,6 +120,11 @@ type Packet struct {
 	WantDets bool
 	// Epoch tags checkpoint waves and marker floods.
 	Epoch int
+	// Incarnation tags recovery round-trips (checkpoint fetch, event
+	// query, det request) with the requester's recovery epoch; responders
+	// echo it so a response addressed to a dead incarnation can be
+	// discarded by the next one.
+	Incarnation int
 	// Image is set for PktCkptStore / PktCkptImage.
 	Image *CheckpointImage
 	// Rank scopes checkpoint operations and PktCkptRequest.

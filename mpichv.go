@@ -17,6 +17,10 @@
 //     checkpoint scheduler and dispatcher with fault injection and full
 //     crash/recovery (checkpoint restore, determinant collection,
 //     sender-based payload replay),
+//   - a declarative fault-scenario engine (FaultPlan): Poisson/uniform
+//     fault storms, correlated multi-rank kills, cascades triggered by
+//     recovery-path events, and Event Logger / checkpoint-server outages,
+//     with deterministic per-seed sampling,
 //   - NAS Parallel Benchmark communication skeletons (BT, SP, CG, LU, FT,
 //     MG; classes A and B) and a NetPIPE-style ping-pong,
 //   - one experiment per table/figure of the paper's evaluation, each
@@ -66,6 +70,7 @@ import (
 	"mpichv/internal/eventlogger"
 	"mpichv/internal/experiment"
 	"mpichv/internal/failure"
+	"mpichv/internal/faultplan"
 	"mpichv/internal/harness"
 	"mpichv/internal/mpi"
 	"mpichv/internal/netmodel"
@@ -104,6 +109,27 @@ type (
 	CheckpointPolicy = checkpoint.Policy
 	// EventLoggerConfig is the Event Logger service model.
 	EventLoggerConfig = eventlogger.Config
+
+	// FaultPlan is a declarative multi-failure scenario: storms,
+	// correlated kills, cascades and stable-service outages compiled onto
+	// a run's dispatcher (set Config.Faults or SweepVariant.Faults).
+	FaultPlan = faultplan.Plan
+	// FaultStorm is a stochastic fault-arrival process (Poisson or
+	// uniform inter-arrival times).
+	FaultStorm = faultplan.Storm
+	// FaultCorrelatedKill fells several ranks in the same instant.
+	FaultCorrelatedKill = faultplan.CorrelatedKill
+	// FaultCascade schedules a follow-on fault after a recovery-path
+	// trigger (kill, restart, recovery completion, checkpoint wave).
+	FaultCascade = faultplan.Cascade
+	// FaultOutage takes the Event Logger or checkpoint server offline
+	// for a window.
+	FaultOutage = faultplan.Outage
+	// FaultEngine is a compiled plan with per-component fault counters.
+	FaultEngine = faultplan.Engine
+	// DispatcherEvent is one dispatcher lifecycle notification
+	// (kill/restart/recovered/finished), see Dispatcher.Observe.
+	DispatcherEvent = failure.Event
 
 	// SweepSpec is a declarative cartesian experiment grid.
 	SweepSpec = harness.SweepSpec
@@ -167,6 +193,31 @@ const (
 	PolicyRandom      = checkpoint.PolicyRandom
 	PolicyCoordinated = checkpoint.PolicyCoordinated
 )
+
+// Fault-plan victim policies.
+const (
+	VictimRoundRobin = faultplan.VictimRoundRobin
+	VictimRandom     = faultplan.VictimRandom
+	VictimFixed      = faultplan.VictimFixed
+)
+
+// Fault-cascade triggers.
+const (
+	OnKill           = faultplan.OnKill
+	OnRestart        = faultplan.OnRestart
+	OnRecovered      = faultplan.OnRecovered
+	OnCheckpointWave = faultplan.OnCheckpointWave
+)
+
+// Fault-outage targets.
+const (
+	OutageEventLogger = faultplan.OutageEventLogger
+	OutageCkptServer  = faultplan.OutageCkptServer
+)
+
+// OnlyRank encodes a FaultCascade trigger-rank filter: OfRank's zero
+// value matches every rank, so "only rank r" is stored as r+1.
+func OnlyRank(r int) int { return faultplan.OnlyRank(r) }
 
 // Reducers lists the piggyback-reduction techniques usable with
 // StackVcausal: "vcausal", "manetho", "logon".
