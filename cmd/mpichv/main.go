@@ -63,7 +63,7 @@ func main() {
 	d.Launch()
 
 	wall := time.Now()
-	elapsed := c.RunLaunched(100 * 60 * mpichv.Minute)
+	elapsed := c.RunLaunched(100 * 60 * mpichv.Minute).MustCompleted()
 	stats := c.AggregateStats()
 
 	fmt.Printf("benchmark      : %s on %d processes, stack=%s", *bench, *np, *stack)

@@ -54,7 +54,7 @@ func main() {
 	d.ScheduleFault(15*mpichv.Millisecond, 3)
 	d.ScheduleFault(40*mpichv.Millisecond, 6)
 	d.Launch()
-	elapsed := c.RunLaunched(10 * mpichv.Minute)
+	elapsed := c.RunLaunched(10 * mpichv.Minute).MustCompleted()
 
 	st := c.AggregateStats()
 	fmt.Printf("stencil on %d ranks under LogOn causal logging\n", np)

@@ -28,7 +28,7 @@ func main() {
 		d := c.PrepareRun(bench.Programs)
 		d.ScheduleFault(12*mpichv.Second, 0) // kill rank 0 mid-run
 		d.Launch()
-		elapsed := c.RunLaunched(60 * mpichv.Minute)
+		elapsed := c.RunLaunched(60 * mpichv.Minute).MustCompleted()
 
 		st := c.Nodes[0].Stats()
 		fmt.Printf("BT.A on 4 nodes, Vcausal, Event Logger = %v\n", useEL)

@@ -26,7 +26,7 @@ func main() {
 				Reducer: reducer,
 				UseEL:   useEL,
 			})
-			elapsed := c.Run(bench.Programs, 10*mpichv.Minute)
+			elapsed := c.Run(bench.Programs, 10*mpichv.Minute).MustCompleted()
 			st := c.AggregateStats()
 			fmt.Printf("%-10s %-6v %10.1f %12d %12d %12v %10d\n",
 				reducer, useEL, bench.Mflops(elapsed),

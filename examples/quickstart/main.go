@@ -19,7 +19,7 @@ func main() {
 		Reducer: "manetho",
 		UseEL:   true,
 	})
-	elapsed := c.Run(bench.Programs, 10*mpichv.Minute)
+	elapsed := c.Run(bench.Programs, 10*mpichv.Minute).MustCompleted()
 	stats := c.AggregateStats()
 
 	fmt.Printf("CG class A on %d nodes under Manetho causal logging (with Event Logger)\n", spec.NP)

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"mpichv/internal/causal"
+	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
 	"mpichv/internal/event"
+	"mpichv/internal/faultplan"
 	"mpichv/internal/harness"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
@@ -35,6 +37,7 @@ func Suite() map[string]func(b *testing.B) {
 		"cell/pessimistic":    cellBench(cluster.Config{NP: 4, Stack: cluster.StackPessimistic}),
 		"cell/vcausal-el":     cellBench(cluster.Config{NP: 4, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}),
 		"cell/coordinated":    cellBench(cluster.Config{NP: 4, Stack: cluster.StackCoordinated}),
+		"cell/storm-recovery": benchStormRecovery,
 		"sweep/fig7-small":    benchSweepFig7Small,
 	}
 }
@@ -199,8 +202,35 @@ func cellBench(cfg cluster.Config) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			in := workload.Build(workload.Spec{Bench: "cg", Class: "A", NP: cfg.NP})
 			c := cluster.New(cfg)
-			c.Run(in.Programs, harness.DefaultMaxVirtual)
+			c.Run(in.Programs, harness.DefaultMaxVirtual).MustCompleted()
 		}
+	}
+}
+
+// benchStormRecovery runs one CG.A.4 cell through two correlated
+// multi-rank kills — four overlapping recoveries per iteration. It is the
+// macro benchmark of the recovery path: checkpoint restores, determinant
+// collection across concurrently restarting peers, replay-set assembly and
+// sender-log replay service (SenderLog.For), the paths the
+// recovery-allocation work targets.
+func benchStormRecovery(b *testing.B) {
+	plan := &faultplan.Plan{
+		Correlated: []faultplan.CorrelatedKill{
+			{At: 100 * sim.Millisecond, Ranks: []int{0, 1}},
+			{At: 400 * sim.Millisecond, Ranks: []int{2, 3}},
+		},
+	}
+	cfg := cluster.Config{
+		NP: 4, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 20 * sim.Millisecond,
+		RestartDelay:  20 * sim.Millisecond,
+		AppStateBytes: 256 << 10,
+		Faults:        plan,
+	}
+	for i := 0; i < b.N; i++ {
+		in := workload.Build(workload.Spec{Bench: "cg", Class: "A", NP: cfg.NP})
+		c := cluster.New(cfg)
+		c.Run(in.Programs, harness.DefaultMaxVirtual).MustCompleted()
 	}
 }
 

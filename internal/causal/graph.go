@@ -1,6 +1,7 @@
 package causal
 
 import (
+	"fmt"
 	"math"
 
 	"mpichv/internal/event"
@@ -65,6 +66,10 @@ type gnode struct {
 	d event.Determinant
 	// vc is the lazily computed causal past of the node (nil until needed).
 	vc []uint64
+	// visiting marks a node whose vc computation is in flight on vcOf's
+	// explicit stack; revisiting one means the antecedence edges form a
+	// cycle — corrupted causality, not a legal graph state.
+	visiting bool
 }
 
 func newGraph(self event.Rank, np int) *graph {
@@ -107,13 +112,16 @@ func (g *graph) alloc(d event.Determinant) *gnode {
 }
 
 // release recycles a node removed from the graph, salvaging its vector
-// clock array for the next vcOf computation.
+// clock array for the next vcOf computation. The visiting flag is cleared
+// here so a recycled node can never leak an in-flight mark into a later
+// vcOf walk (which would misread it as an antecedence cycle).
 func (g *graph) release(n *gnode) {
 	if n.vc != nil {
 		g.vecFree = append(g.vecFree, n.vc)
 		n.vc = nil
 	}
 	n.d = event.Determinant{}
+	n.visiting = false
 	g.free = append(g.free, n)
 }
 
@@ -163,10 +171,18 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 	if n.vc != nil {
 		return n.vc
 	}
+	n.visiting = true
 	stack := []*gnode{n}
+	// Dependency pushes guard against antecedence cycles: a legal causal
+	// graph is a DAG, but determinant IDs re-created by an incarnation
+	// that restored regressed state (an undetected determinant loss under
+	// concurrent failures) can alias old and new events, closing a cycle.
+	// Walking one would grow the stack forever — fail loudly instead; the
+	// run is already causally corrupt.
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		if cur.vc != nil {
+			cur.visiting = false
 			stack = stack[:len(stack)-1]
 			continue
 		}
@@ -176,10 +192,18 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 			parent = g.index[cur.d.Parent]
 		}
 		if chainPred != nil && chainPred.vc == nil {
+			if chainPred.visiting {
+				panic(antecedenceCycle(chainPred))
+			}
+			chainPred.visiting = true
 			stack = append(stack, chainPred)
 			continue
 		}
 		if parent != nil && parent.vc == nil {
+			if parent.visiting {
+				panic(antecedenceCycle(parent))
+			}
+			parent.visiting = true
 			stack = append(stack, parent)
 			continue
 		}
@@ -203,9 +227,16 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 		}
 		vc[cur.d.ID.Creator] = cur.d.ID.Clock
 		cur.vc = vc
+		cur.visiting = false
 		stack = stack[:len(stack)-1]
 	}
 	return n.vc
+}
+
+// antecedenceCycle builds the diagnostic for a cycle found by vcOf (cold
+// path, kept out of the walk so the hot loop allocates nothing).
+func antecedenceCycle(n *gnode) string {
+	return fmt.Sprintf("causal: antecedence cycle at %v — determinant IDs re-created after a regressed recovery (lost determinants)", n.d.ID)
 }
 
 // knowledgeOf returns, per creator, the highest clock dst is believed to

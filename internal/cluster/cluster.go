@@ -105,6 +105,16 @@ type Cluster struct {
 	// Faults is the compiled fault-scenario engine (nil when the config
 	// carries no plan); its counters classify every injected fault.
 	Faults *faultplan.Engine
+
+	// DetLosses records every determinant loss reported during the run, in
+	// detection order; the kernel stops at the first, so the slice holds at
+	// most one entry per run in practice.
+	DetLosses []daemon.DeterminantLoss
+
+	// killedAt / recoveredAt track each rank's latest kill and recovery
+	// times (-1 = never), feeding determinant-loss diagnostics.
+	killedAt    []sim.Time
+	recoveredAt []sim.Time
 }
 
 // New builds a cluster per cfg. Endpoint layout: 0..NP-1 computing nodes,
@@ -171,6 +181,11 @@ func New(cfg Config) *Cluster {
 	net := netmodel.New(k, cfg.Net, schedEndpoint+1)
 
 	c := &Cluster{Cfg: cfg, K: k, Net: net}
+	c.killedAt = make([]sim.Time, cfg.NP)
+	c.recoveredAt = make([]sim.Time, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		c.killedAt[r], c.recoveredAt[r] = -1, -1
+	}
 
 	wantEL := cfg.Stack == StackPessimistic || (cfg.Stack == StackVcausal && cfg.UseEL)
 	if wantEL {
@@ -195,6 +210,11 @@ func New(cfg Config) *Cluster {
 		if wantEL {
 			n.ELEndpoint = c.ELGroup.EndpointFor(event.Rank(r))
 		}
+		// Determinant loss is a first-class outcome: recoveries check
+		// missing determinants against the whole deployment and report a
+		// genuine loss to the cluster instead of panicking.
+		n.LossCheck = c.witnessed
+		n.OnDeterminantLoss = c.recordDetLoss
 		c.Nodes = append(c.Nodes, n)
 		c.Comms = append(c.Comms, mpi.NewComm(n))
 	}
@@ -232,8 +252,10 @@ func protoFor(cfg Config, rank event.Rank) daemon.Protocol {
 }
 
 // Run launches one program per rank and executes the simulation until all
-// programs complete or maxVirtual elapses. It returns the completion time.
-func (c *Cluster) Run(programs []failure.Program, maxVirtual sim.Time) sim.Time {
+// programs complete, a determinant loss stops the run, or maxVirtual
+// elapses. The result carries the structured Outcome; callers that assume
+// completion chain .MustCompleted().
+func (c *Cluster) Run(programs []failure.Program, maxVirtual sim.Time) RunResult {
 	d := c.PrepareRun(programs)
 	d.Launch()
 	return c.RunLaunched(maxVirtual)
@@ -251,6 +273,7 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 	d.RestartDelay = c.Cfg.RestartDelay
 	d.OnAllDone = c.K.Stop
 	c.Dispatcher = d
+	c.trackLifecycle(d)
 	if c.Cfg.Faults != nil {
 		targets := faultplan.Targets{
 			Kernel:     c.K,
@@ -271,14 +294,14 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 	return d
 }
 
-// RunLaunched executes an already-launched deployment to completion (or
-// the maxVirtual safety deadline) and returns the final time.
-func (c *Cluster) RunLaunched(maxVirtual sim.Time) sim.Time {
+// RunLaunched executes an already-launched deployment until completion,
+// the first determinant loss, or the maxVirtual safety deadline, and
+// returns the structured result. Unlike completion and loss, divergence is
+// not a panic either: callers decide (tables render it, tests chain
+// MustCompleted).
+func (c *Cluster) RunLaunched(maxVirtual sim.Time) RunResult {
 	end := c.K.RunUntil(maxVirtual)
-	if !c.Dispatcher.AllDone() {
-		panic(fmt.Sprintf("cluster: run did not complete before %v (deadlock or deadline too tight)", maxVirtual))
-	}
-	return end
+	return RunResult{Outcome: c.Outcome(), End: end, DetLoss: c.FirstDetLoss()}
 }
 
 // AggregateStats sums all per-node probes.

@@ -70,7 +70,7 @@ func TestFaultFreeAllStacksComplete(t *testing.T) {
 	for _, cfg := range configs {
 		name := cfg.Stack + "/" + cfg.Reducer
 		c := New(cfg)
-		end := c.Run(ringPrograms(np, 50, 1024), 10*sim.Minute)
+		end := c.Run(ringPrograms(np, 50, 1024), 10*sim.Minute).MustCompleted()
 		if end <= 0 {
 			t.Errorf("%s: zero completion time", name)
 		}
@@ -84,7 +84,7 @@ func TestFaultFreeAllStacksComplete(t *testing.T) {
 func TestPingPongLatencyOrdering(t *testing.T) {
 	run := func(stack, reducer string, useEL bool) sim.Time {
 		c := New(Config{NP: 2, Stack: stack, Reducer: reducer, UseEL: useEL})
-		return c.Run(pingPongPrograms(500, 1), sim.Minute)
+		return c.Run(pingPongPrograms(500, 1), sim.Minute).MustCompleted()
 	}
 	raw := run(StackRawTCP, "", false)
 	p4 := run(StackP4, "", false)
@@ -101,7 +101,7 @@ func TestPingPongLatencyOrdering(t *testing.T) {
 func TestEventLoggerStoresAllEvents(t *testing.T) {
 	const np = 4
 	c := New(Config{NP: np, Stack: StackVcausal, Reducer: "manetho", UseEL: true})
-	c.Run(ringPrograms(np, 40, 512), 10*sim.Minute)
+	c.Run(ringPrograms(np, 40, 512), 10*sim.Minute).MustCompleted()
 	// Let in-flight log packets land: run any residual events.
 	stats := c.AggregateStats()
 	stored := int64(0)
@@ -121,7 +121,7 @@ func TestEventLoggerStoresAllEvents(t *testing.T) {
 func TestELReducesPiggybackBytes(t *testing.T) {
 	run := func(useEL bool) int64 {
 		c := New(Config{NP: 4, Stack: StackVcausal, Reducer: "vcausal", UseEL: useEL})
-		c.Run(ringPrograms(4, 60, 256), 10*sim.Minute)
+		c.Run(ringPrograms(4, 60, 256), 10*sim.Minute).MustCompleted()
 		return c.AggregateStats().PiggybackBytes
 	}
 	with, without := run(true), run(false)
@@ -152,7 +152,7 @@ func runWithCrash(t *testing.T, stack, reducer string, useEL bool, crashAt sim.T
 		d.ScheduleFault(crashAt, 0)
 	}
 	d.Launch()
-	end := c.RunLaunched(30 * sim.Minute)
+	end := c.RunLaunched(30 * sim.Minute).MustCompleted()
 	logs := make([]map[int64]daemon.DeliveryRecord, np)
 	for r := 0; r < np; r++ {
 		logs[r] = c.Nodes[r].Deliveries
@@ -223,7 +223,7 @@ func TestRecoveryTimersPopulated(t *testing.T) {
 	d := c.PrepareRun(ringPrograms(np, 120, 512))
 	d.ScheduleFault(40*sim.Millisecond, 0)
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	st := c.Nodes[0].Stats()
 	if st.Recoveries != 1 {
 		t.Fatalf("rank 0 recoveries = %d, want 1", st.Recoveries)
@@ -252,7 +252,7 @@ func TestMultipleFaultsMessageLogging(t *testing.T) {
 	d.ScheduleFault(70*sim.Millisecond, 2)
 	d.ScheduleFault(110*sim.Millisecond, 0)
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	if d.Kills < 2 {
 		t.Fatalf("expected at least 2 kills, got %d", d.Kills)
 	}
@@ -276,7 +276,7 @@ func TestGenGuardOverlappingKillsSameRank(t *testing.T) {
 	d.ScheduleFault(40*sim.Millisecond, 0)
 	d.ScheduleFault(48*sim.Millisecond, 0) // inside the 20ms restart window
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	if d.Kills != 2 || d.Restarts != 1 {
 		t.Fatalf("kills=%d restarts=%d, want 2 kills and exactly 1 respawn", d.Kills, d.Restarts)
 	}
@@ -305,7 +305,7 @@ func TestCoordinatedSecondFaultInsideRestartDelay(t *testing.T) {
 	d.ScheduleFault(40*sim.Millisecond, 0)
 	d.ScheduleFault(50*sim.Millisecond, 2) // inside the rollback's restart window
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	if d.Kills != 2 {
 		t.Fatalf("kills = %d, want 2", d.Kills)
 	}
@@ -339,7 +339,7 @@ func TestFaultDuringCheckpoint(t *testing.T) {
 	// at 15ms lands while the transaction is in flight.
 	d.ScheduleFault(15*sim.Millisecond, 0)
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	if c.Nodes[0].Stats().Recoveries != 1 {
 		t.Fatalf("rank 0 recoveries = %d, want 1", c.Nodes[0].Stats().Recoveries)
 	}
@@ -369,7 +369,7 @@ func TestExplicitZeroCostModelsHonored(t *testing.T) {
 		t.Fatalf("explicit zero ckpt-server config replaced by defaults: %+v", c.Cfg.CkptServer)
 	}
 	// The deployment must still run.
-	c.Run(ringPrograms(2, 20, 256), sim.Minute)
+	c.Run(ringPrograms(2, 20, 256), sim.Minute).MustCompleted()
 
 	// Default path unchanged: zero values without the sentinel get the
 	// calibrated models.

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mpichv/internal/daemon"
+	"mpichv/internal/event"
+	"mpichv/internal/failure"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+)
+
+// Outcome classifies how a deployment run ended. Determinant loss — the
+// paper's known limitation of EL-less causal logging under concurrent
+// failures — is a result to be measured, not an error: it gets its own
+// outcome instead of a panic.
+type Outcome string
+
+// Run outcomes.
+const (
+	// OutcomeCompleted: every rank's program finished.
+	OutcomeCompleted Outcome = "completed"
+	// OutcomeDeterminantLoss: a recovery could not reassemble its replay
+	// set because every copy of some determinants died with crashed peers;
+	// the run stopped at the first detection (see Cluster.DetLosses).
+	OutcomeDeterminantLoss Outcome = "determinant-loss"
+	// OutcomeDiverged: the run was still pending at its virtual-time cap.
+	OutcomeDiverged Outcome = "diverged"
+	// OutcomeDeadlockTimeout: a wall-clock watchdog stopped the kernel
+	// (assigned by harness layers that run one; the cluster itself only
+	// observes virtual time).
+	OutcomeDeadlockTimeout Outcome = "deadlock-timeout"
+)
+
+// RunResult is the structured outcome of one deployment run.
+type RunResult struct {
+	// Outcome classifies how the run ended.
+	Outcome Outcome
+	// End is the final virtual time: the completion time when Outcome is
+	// OutcomeCompleted, otherwise the time the run stopped.
+	End sim.Time
+	// DetLoss carries the diagnostics of the first determinant loss (nil
+	// unless Outcome is OutcomeDeterminantLoss).
+	DetLoss *daemon.DeterminantLoss
+}
+
+// MustCompleted returns the completion time, panicking on any other
+// outcome — the loud-failure path for callers whose downstream arithmetic
+// assumes a finished run (the legacy Run contract).
+func (r RunResult) MustCompleted() sim.Time {
+	switch r.Outcome {
+	case OutcomeCompleted:
+		return r.End
+	case OutcomeDeterminantLoss:
+		panic(fmt.Sprintf("cluster: determinant loss: %v", *r.DetLoss))
+	default:
+		panic(fmt.Sprintf("cluster: run did not complete (outcome %q at %v: deadlock or deadline too tight)", r.Outcome, r.End))
+	}
+}
+
+// Outcome classifies the current run state: call it after the kernel
+// stopped (RunLaunched assembles it into a RunResult).
+func (c *Cluster) Outcome() Outcome {
+	if c.Dispatcher != nil && c.Dispatcher.AllDone() {
+		return OutcomeCompleted
+	}
+	if len(c.DetLosses) > 0 {
+		return OutcomeDeterminantLoss
+	}
+	return OutcomeDiverged
+}
+
+// FirstDetLoss returns the first recorded determinant loss, or nil.
+func (c *Cluster) FirstDetLoss() *daemon.DeterminantLoss {
+	if len(c.DetLosses) == 0 {
+		return nil
+	}
+	return &c.DetLosses[0]
+}
+
+// recordDetLoss is every node's OnDeterminantLoss handler: it completes
+// the diagnostics with deployment-level context (detection time, which
+// peers' death or recovery overlapped the victim's failure), records the
+// loss and stops the kernel — the run's outcome is decided.
+func (c *Cluster) recordDetLoss(dl daemon.DeterminantLoss) {
+	dl.At = c.K.Now()
+	dl.DeadPeers = c.concurrentDead(dl.Victim)
+	c.DetLosses = append(c.DetLosses, dl)
+	c.K.Stop()
+}
+
+// concurrentDead lists the ranks whose latest death-to-recovery interval
+// overlapped the victim's current outage — the candidates that held the
+// only copies of the lost determinants.
+func (c *Cluster) concurrentDead(victim event.Rank) []event.Rank {
+	if c.Dispatcher == nil {
+		return nil
+	}
+	tv := c.killedAt[victim]
+	var dead []event.Rank
+	for r := 0; r < c.Cfg.NP; r++ {
+		if event.Rank(r) == victim || c.killedAt[r] < 0 {
+			continue
+		}
+		stillDown := c.recoveredAt[r] < c.killedAt[r]
+		if stillDown || tv < 0 || c.recoveredAt[r] >= tv {
+			dead = append(dead, event.Rank(r))
+		}
+	}
+	return dead
+}
+
+// witnessed is every node's LossCheck: an omniscient, side-effect-free
+// scan over all nodes for surviving copies of creator's determinants with
+// clocks in [from, to], returned as a bitmap indexed clock-from. Recovery
+// collection already covers everything peers *respond* with; this
+// additionally sees latent copies still sitting in queued piggybacks,
+// distinguishing a benign late merge from a genuine loss. One linear pass
+// per node keeps the probe cheap against the unbounded held sets of
+// EL-less deployments.
+func (c *Cluster) witnessed(creator event.Rank, from, to uint64) []bool {
+	out := make([]bool, to-from+1)
+	mark := func(clock uint64) { out[clock-from] = true }
+	for _, n := range c.Nodes {
+		if n.Rank() == creator {
+			continue
+		}
+		n.MarkWitnessedDeterminants(creator, from, to, mark)
+	}
+	// Messages between send and arrival exist only on the wire; a
+	// piggyback copy riding one still reaches a live peer, so it counts
+	// as a witness too.
+	c.Net.RangeInFlight(func(d netmodel.Delivery) bool {
+		daemon.MarkWitnessedInDelivery(d, creator, from, to, mark)
+		return true
+	})
+	return out
+}
+
+// trackLifecycle subscribes to the dispatcher's event stream so
+// determinant-loss diagnostics can tell which failures overlapped.
+func (c *Cluster) trackLifecycle(d *failure.Dispatcher) {
+	d.Observe(func(ev failure.Event) {
+		switch ev.Kind {
+		case failure.EvKill:
+			c.killedAt[ev.Rank] = ev.Time
+		case failure.EvRecovered:
+			c.recoveredAt[ev.Rank] = ev.Time
+		}
+	})
+}

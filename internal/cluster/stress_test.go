@@ -37,7 +37,7 @@ func TestStressRandomFaultSchedules(t *testing.T) {
 			d.ScheduleFault(sim.Time(f[0]), int(f[1]))
 		}
 		d.Launch()
-		c.RunLaunched(30 * sim.Minute)
+		c.RunLaunched(30 * sim.Minute).MustCompleted()
 		logs := make([]map[int64]daemon.DeliveryRecord, np)
 		for r := 0; r < np; r++ {
 			logs[r] = c.Nodes[r].Deliveries
@@ -94,7 +94,7 @@ func TestStressCoordinatedRandomFaults(t *testing.T) {
 			d.ScheduleFault(sim.Time(f[0]), int(f[1]))
 		}
 		d.Launch()
-		c.RunLaunched(30 * sim.Minute)
+		c.RunLaunched(30 * sim.Minute).MustCompleted()
 		logs := make([]map[int64]daemon.DeliveryRecord, np)
 		for r := 0; r < np; r++ {
 			logs[r] = c.Nodes[r].Deliveries

@@ -1,0 +1,131 @@
+package daemon
+
+import (
+	"fmt"
+
+	"mpichv/internal/event"
+	"mpichv/internal/netmodel"
+	"mpichv/internal/sim"
+	"mpichv/internal/vproto"
+)
+
+// DeterminantLoss describes a recovery that could not reassemble its replay
+// set: determinants the dead incarnation had created — and that some peer
+// had witnessed, so surviving executions may depend on them — are no longer
+// held anywhere in the deployment. This is the paper's known limitation of
+// causal message logging without an Event Logger: under concurrent
+// failures, determinants held only by crashed peers are lost when those
+// peers restore regressed state. It is a *result* of the protocol
+// configuration under the fault scenario, not a simulator defect, and is
+// reported as a first-class recovery outcome.
+type DeterminantLoss struct {
+	// Victim is the recovering rank whose replay set is incomplete.
+	Victim event.Rank `json:"victim"`
+	// Incarnation is the victim's recovery epoch at detection.
+	Incarnation int `json:"incarnation"`
+	// BaseClock is the event clock of the restored checkpoint image
+	// (replay was supposed to cover clocks BaseClock+1 onward).
+	BaseClock uint64 `json:"base_clock"`
+	// PrevClock is the event clock the dead incarnation had reached when
+	// it was killed.
+	PrevClock uint64 `json:"prev_clock"`
+	// LastSendClock is the highest clock a peer witnessed through one of
+	// the dead incarnation's sends; determinants at or below it were
+	// piggybacked on the wire and must be recoverable.
+	LastSendClock uint64 `json:"last_send_clock"`
+	// MissingFrom and MissingTo bound the lost clock range.
+	MissingFrom uint64 `json:"missing_from"`
+	MissingTo   uint64 `json:"missing_to"`
+	// Lost counts the lost clocks inside [MissingFrom, MissingTo].
+	Lost int `json:"lost"`
+	// Gap is true when the loss is a hole inside the collected replay set
+	// (an invariant breach: later determinants exist without their
+	// antecedents), false when it is an unwitnessed truncation of the
+	// replay tail below LastSendClock.
+	Gap bool `json:"gap"`
+	// DeadPeers are the ranks whose death or recovery overlapped the
+	// victim's failure — the candidates that held the only copies. Filled
+	// by the cluster layer, which can see the whole deployment.
+	DeadPeers []event.Rank `json:"dead_peers,omitempty"`
+	// At is the virtual detection time (filled by the cluster layer).
+	At sim.Time `json:"at_ns"`
+}
+
+func (dl DeterminantLoss) String() string {
+	form := "truncated"
+	if dl.Gap {
+		form = "gap"
+	}
+	return fmt.Sprintf(
+		"rank %d incarnation %d lost %d determinant(s), clocks [%d,%d] (%s; base %d, died at %d, last send witnessed %d; concurrently dead peers %v)",
+		dl.Victim, dl.Incarnation, dl.Lost, dl.MissingFrom, dl.MissingTo,
+		form, dl.BaseClock, dl.PrevClock, dl.LastSendClock, dl.DeadPeers)
+}
+
+// reportDeterminantLoss hands loss diagnostics to the deployment's handler
+// and halts the incarnation: its replay set is incomplete, so resuming the
+// program would either violate replay invariants or silently re-execute a
+// history that surviving peers already depend on. The handler (installed by
+// the cluster layer) records the outcome and normally stops the kernel.
+// Without a handler the legacy behaviour — a loud panic — is preserved for
+// bare-daemon deployments.
+func (n *Node) reportDeterminantLoss(dl DeterminantLoss) {
+	if n.OnDeterminantLoss == nil {
+		panic(fmt.Sprintf("daemon: recovery hole: %v", dl))
+	}
+	n.OnDeterminantLoss(dl)
+	// Halt forever (until killed or the kernel stops). The quantum is far
+	// beyond any experiment's virtual cap.
+	const haltQuantum = sim.Time(1) << 60
+	for {
+		n.proc.Sleep(haltQuantum)
+	}
+}
+
+// MarkWitnessedDeterminants calls mark(clock) for every determinant of
+// creator with clock in [from, to] that any volatile state of this node
+// still witnesses: the protocol's held set, the piggyback of a
+// delivered-but-unconsumed message, a held application packet, or an inbox
+// packet not yet accepted. The cluster's loss check scans survivors with
+// it — one linear pass per node, so a recovery probing a wide missing
+// range stays cheap even against the unbounded held sets of EL-less
+// deployments. The scan is a pure read: it charges no CPU and draws no
+// randomness, so runs that complete are unaffected by it.
+func (n *Node) MarkWitnessedDeterminants(creator event.Rank, from, to uint64, mark func(uint64)) {
+	markPB := func(pb []event.Determinant) {
+		for _, d := range pb {
+			if d.ID.Creator == creator && d.ID.Clock >= from && d.ID.Clock <= to {
+				mark(d.ID.Clock)
+			}
+		}
+	}
+	markPB(n.Proto.HeldFor(creator))
+	for _, m := range n.recvQ {
+		markPB(m.Piggyback)
+	}
+	for _, m := range n.heldApp {
+		markPB(m.Piggyback)
+	}
+	n.ep.Inbox.Range(func(d netmodel.Delivery) bool {
+		MarkWitnessedInDelivery(d, creator, from, to, mark)
+		return true
+	})
+}
+
+// MarkWitnessedInDelivery applies the witness scan to one network
+// delivery: if it carries an application packet, every piggybacked
+// determinant of creator with clock in [from, to] is reported to mark.
+// The cluster layer also runs it over in-flight traffic
+// (netmodel.RangeInFlight) — a piggyback copy that exists only on the
+// wire still reaches a live peer, so it is latent, not lost.
+func MarkWitnessedInDelivery(d netmodel.Delivery, creator event.Rank, from, to uint64, mark func(uint64)) {
+	pkt, ok := d.Payload.(*vproto.Packet)
+	if !ok || pkt.Kind != vproto.PktApp {
+		return
+	}
+	for _, det := range pkt.App.Piggyback {
+		if det.ID.Creator == creator && det.ID.Clock >= from && det.ID.Clock <= to {
+			mark(det.ID.Clock)
+		}
+	}
+}

@@ -132,6 +132,11 @@ type Node struct {
 	sendSeq   []uint64 // per-destination channel sequence counters
 	lamport   uint64
 	lastEvent event.EventID
+	// lastSendClock is the event clock at the most recent application send
+	// that reached the wire: every determinant at or below it travelled in
+	// some piggyback, so a peer witnessed it and recovery must be able to
+	// reassemble it (the determinant-loss detector's watermark).
+	lastSendClock uint64
 
 	// Program position: step counts completed MPI operations; operations
 	// with step < skipUntil are fast-forwarded after a restart.
@@ -168,6 +173,22 @@ type Node struct {
 	// addressed to a dead incarnation (killed mid-recovery) cannot
 	// satisfy the next incarnation's collection with stale data.
 	recoveryEpoch int
+	// dedupSeen is the recovery-time determinant dedup set, reused across
+	// recoveries so collection does not allocate a fresh map per restart.
+	dedupSeen map[event.EventID]bool
+
+	// LossCheck, when set, reports which of creator's determinants with
+	// clocks in [from, to] — missing from this node's reassembled replay
+	// set — are still witnessed anywhere else in the deployment (bitmap
+	// indexed clock-from). The cluster layer installs an omniscient scan
+	// over all nodes; a missing determinant that is witnessed will still
+	// be merged through normal piggyback flow, while an unwitnessed one is
+	// lost for good.
+	LossCheck func(creator event.Rank, from, to uint64) []bool
+	// OnDeterminantLoss, when set, receives determinant-loss diagnostics
+	// detected during PrepareRecovery instead of the legacy panic; the
+	// reporting incarnation halts afterwards (see reportDeterminantLoss).
+	OnDeterminantLoss func(DeterminantLoss)
 
 	// Coordinated-protocol channel recording (Chandy-Lamport); managed by
 	// the coordinated stack through the hook calls but stored here so the
@@ -328,6 +349,9 @@ func (n *Node) Send(dst event.Rank, tag int, bytes int) {
 	}
 	n.Proto.PreSend(n, m)
 	n.transmit(m)
+	// Updated only after the packet reached the wire: a kill inside
+	// transmit's CPU charge means the piggyback was never witnessed.
+	n.lastSendClock = n.clock
 }
 
 // transmit charges the send-side software costs and puts m on the wire.
@@ -672,18 +696,28 @@ func (n *Node) PrepareRecovery() {
 	n.stats.Recoveries++
 	n.recoveryEpoch++
 
+	// The dead incarnation's watermarks, read before the volatile reset:
+	// how far its event clock ran, and the highest clock a peer witnessed
+	// through one of its sends. The determinant-loss detector compares the
+	// reassembled replay set against them.
+	prevClock := n.clock
+	prevLastSend := n.lastSendClock
+
 	// Stale packets addressed to the previous incarnation are dropped
 	// (anything that matters is covered by replay) — except service
 	// requests from other recovering ranks, which are held and served
 	// after the restore.
 	n.drainForRecovery()
 	n.recvQ = nil
-	n.replayDets = nil
+	n.replayDets = n.replayDets[:0]
 	n.replayIdx = 0
 	n.step = 0
 	n.skipUntil = 0
 	n.clock, n.lamport = 0, 0
-	n.sendSeq = make([]uint64, n.np)
+	n.lastSendClock = 0
+	for i := range n.sendSeq {
+		n.sendSeq[i] = 0
+	}
 	n.lastEvent = event.EventID{}
 	n.ckptRequested = false
 	for i := range n.seqTrack {
@@ -717,7 +751,7 @@ func (n *Node) PrepareRecovery() {
 
 	// 2. Collect the determinants to replay (timed: the paper's Figure 10).
 	collectStart := n.Now()
-	n.collectedDets = nil
+	n.collectedDets = n.collectedDets[:0]
 	n.collectedStab = nil
 	if n.ELEndpoint >= 0 {
 		n.detRespsWanted = 1
@@ -766,11 +800,16 @@ func (n *Node) PrepareRecovery() {
 	// the protocol so future piggybacks stay complete. Responses from
 	// different peers overlap and interleave, and the reducers require
 	// per-creator ascending clock order, so sort and deduplicate first.
-	seen := make(map[event.EventID]bool, len(n.collectedDets))
+	if n.dedupSeen == nil {
+		n.dedupSeen = make(map[event.EventID]bool, len(n.collectedDets))
+	}
+	for id := range n.dedupSeen {
+		delete(n.dedupSeen, id)
+	}
 	dedup := n.collectedDets[:0]
 	for _, d := range n.collectedDets {
-		if !seen[d.ID] {
-			seen[d.ID] = true
+		if !n.dedupSeen[d.ID] {
+			n.dedupSeen[d.ID] = true
 			dedup = append(dedup, d)
 		}
 	}
@@ -782,28 +821,73 @@ func (n *Node) PrepareRecovery() {
 		}
 		return a.Clock < b.Clock
 	})
-	byClock := make(map[uint64]event.Determinant)
+	// The sorted, deduplicated collection already lists this rank's own
+	// post-checkpoint determinants in ascending clock order — the replay
+	// set is a filter pass, with no per-recovery map.
+	n.replayDets = n.replayDets[:0]
 	for _, d := range n.collectedDets {
 		if d.ID.Creator == n.rank && d.ID.Clock > im.Clock {
-			byClock[d.ID.Clock] = d
+			n.replayDets = append(n.replayDets, d)
 		}
 	}
-	n.replayDets = n.replayDets[:0]
-	for _, d := range byClock {
-		n.replayDets = append(n.replayDets, d)
+	// The replay set must be gapless: a hole means later determinants
+	// survived without their antecedents — every copy of the missing ones
+	// died with crashed peers. That is not a simulator bug but the paper's
+	// known limitation of EL-less causal logging under concurrent
+	// failures, so it is reported as a first-class outcome (or, without a
+	// handler, the legacy panic).
+	lastClock := im.Clock
+	gapFrom, gapTo, gapLost := uint64(0), uint64(0), 0
+	for _, d := range n.replayDets {
+		if want := lastClock + 1; d.ID.Clock != want {
+			if gapLost == 0 {
+				gapFrom = want
+			}
+			gapTo = d.ID.Clock - 1
+			gapLost += int(d.ID.Clock - want)
+		}
+		lastClock = d.ID.Clock
 	}
-	sort.Slice(n.replayDets, func(i, j int) bool {
-		return n.replayDets[i].ID.Clock < n.replayDets[j].ID.Clock
-	})
-	// The replay set must be gapless: a missing clock would mean a lost
-	// determinant, which the protocol invariants forbid.
-	for i, d := range n.replayDets {
-		if want := im.Clock + uint64(i) + 1; d.ID.Clock != want {
-			panic(fmt.Sprintf("daemon: rank %d recovery hole: expected clock %d, have %v", n.rank, want, d.ID))
+	if gapLost > 0 {
+		n.reportDeterminantLoss(DeterminantLoss{
+			Victim: n.rank, Incarnation: n.recoveryEpoch,
+			BaseClock: im.Clock, PrevClock: prevClock, LastSendClock: prevLastSend,
+			MissingFrom: gapFrom, MissingTo: gapTo, Lost: gapLost, Gap: true,
+		})
+	}
+	// Truncation form: the dead incarnation's sends witnessed determinants
+	// up to prevLastSend, yet the reassembled set stops at lastClock. Each
+	// missing clock that no survivor still witnesses (protocol state,
+	// queued piggybacks) is lost — held only by peers that crashed and
+	// restored regressed state. A clock some survivor does witness is
+	// merely latent (it reaches the reducers through normal piggyback
+	// flow), which is the benign single-failure case and must not be
+	// flagged. Detection needs the cluster's omniscient scan and only
+	// applies to logging protocols that promise replay.
+	if n.LossCheck != nil && n.Proto.UsesSenderLog() && prevLastSend > lastClock {
+		witnessed := n.LossCheck(n.rank, lastClock+1, prevLastSend)
+		lost, missFrom, missTo := 0, uint64(0), uint64(0)
+		for i, w := range witnessed {
+			if w {
+				continue
+			}
+			clk := lastClock + 1 + uint64(i)
+			if lost == 0 {
+				missFrom = clk
+			}
+			missTo = clk
+			lost++
+		}
+		if lost > 0 {
+			n.reportDeterminantLoss(DeterminantLoss{
+				Victim: n.rank, Incarnation: n.recoveryEpoch,
+				BaseClock: im.Clock, PrevClock: prevClock, LastSendClock: prevLastSend,
+				MissingFrom: missFrom, MissingTo: missTo, Lost: lost,
+			})
 		}
 	}
 	n.Proto.Integrate(n, n.collectedDets, n.collectedStab)
-	n.collectedDets = nil
+	n.collectedDets = n.collectedDets[:0]
 	n.replayIdx = 0
 	if !n.Replaying() && n.recoveryStart > 0 {
 		n.stats.RecoveryTotal += n.Now() - n.recoveryStart
@@ -844,9 +928,14 @@ func (n *Node) flushHeldApp() {
 			n.recvQ = append(n.recvQ, m)
 		}
 	}
-	reqs := n.heldDetReqs
-	n.heldDetReqs = nil
-	for _, req := range reqs {
+	// Served one at a time, popping before the serve: serveDetRequest
+	// charges CPU and transmits (virtual time passes), so a kill can land
+	// mid-flush — the unserved remainder must survive into the next
+	// incarnation, which flushes it after its own restore, or the peers
+	// that sent them would wait forever.
+	for len(n.heldDetReqs) > 0 {
+		req := n.heldDetReqs[0]
+		n.heldDetReqs = n.heldDetReqs[1:]
 		n.serveDetRequest(req)
 	}
 }
@@ -854,7 +943,9 @@ func (n *Node) flushHeldApp() {
 func (n *Node) restoreImage(im *vproto.CheckpointImage) {
 	n.skipUntil = im.Step
 	n.clock = im.Clock
-	n.sendSeq = make([]uint64, n.np)
+	for i := range n.sendSeq {
+		n.sendSeq[i] = 0
+	}
 	copy(n.sendSeq, im.SendSeqs)
 	n.lamport = im.Lamport
 	if !n.lastEventFromImage(im) {
@@ -901,12 +992,15 @@ func (n *Node) PrepareRollback(crashed bool) {
 	n.recoveryEpoch++
 	n.drainForRecovery()
 	n.recvQ = nil
-	n.replayDets = nil
+	n.replayDets = n.replayDets[:0]
 	n.replayIdx = 0
 	n.step = 0
 	n.skipUntil = 0
 	n.clock, n.lamport = 0, 0
-	n.sendSeq = make([]uint64, n.np)
+	n.lastSendClock = 0
+	for i := range n.sendSeq {
+		n.sendSeq[i] = 0
+	}
 	n.lastEvent = event.EventID{}
 	n.ckptRequested = false
 	n.Recording = nil

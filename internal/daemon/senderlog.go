@@ -1,6 +1,8 @@
 package daemon
 
 import (
+	"sort"
+
 	"mpichv/internal/event"
 	"mpichv/internal/vproto"
 )
@@ -13,6 +15,9 @@ type SenderLog struct {
 	// perDst[d] holds the logged messages sent to rank d, in send order.
 	perDst map[event.Rank][]vproto.LoggedPayload
 	bytes  int64
+	// scratch backs For's result between calls, so each recovery served
+	// does not allocate a fresh replay slice.
+	scratch []vproto.LoggedPayload
 }
 
 // NewSenderLog returns an empty log.
@@ -42,28 +47,49 @@ func (l *SenderLog) TrimTo(dst event.Rank, seqFloor uint64) {
 	}
 	if cut > 0 {
 		// Compact in place; the slice keeps its capacity for future sends.
+		// The vacated tail is zeroed so trimmed payloads do not stay
+		// reachable past the bytes accounting that released them.
 		kept := copy(entries, entries[cut:])
+		for i := kept; i < len(entries); i++ {
+			entries[i] = vproto.LoggedPayload{}
+		}
 		l.perDst[dst] = entries[:kept]
 	}
 }
 
 // For returns the logged payloads sent to dst with sequence > seqFloor, in
-// send order — the replay set for dst's recovery.
+// send order — the replay set for dst's recovery. The returned slice is
+// backed by a scratch buffer owned by the log and is only valid until the
+// next For call.
 func (l *SenderLog) For(dst event.Rank, seqFloor uint64) []vproto.LoggedPayload {
-	var out []vproto.LoggedPayload
+	out := l.scratch[:0]
 	for _, e := range l.perDst[dst] {
 		if e.Msg.SendSeq > seqFloor {
 			out = append(out, e)
 		}
 	}
+	l.scratch = out
 	return out
 }
 
-// Snapshot returns all entries (checkpoint image content).
+// Snapshot returns all entries (checkpoint image content), ordered by
+// (destination, send sequence) so identical logs produce identical images
+// regardless of map iteration order. Per-destination slices are already in
+// send order (Append/TrimTo maintain it), so only the destination keys —
+// at most one per rank — need sorting.
 func (l *SenderLog) Snapshot() []vproto.LoggedPayload {
-	var out []vproto.LoggedPayload
-	for _, entries := range l.perDst {
-		out = append(out, entries...)
+	dsts := make([]event.Rank, 0, len(l.perDst))
+	total := 0
+	for dst, entries := range l.perDst {
+		if len(entries) > 0 {
+			dsts = append(dsts, dst)
+			total += len(entries)
+		}
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	out := make([]vproto.LoggedPayload, 0, total)
+	for _, dst := range dsts {
+		out = append(out, l.perDst[dst]...)
 	}
 	return out
 }

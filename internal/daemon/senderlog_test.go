@@ -78,3 +78,80 @@ func TestSenderLogSnapshotRestore(t *testing.T) {
 		t.Error("restored log lost entries")
 	}
 }
+
+// TestSenderLogSnapshotDeterministic: checkpoint-image content must not
+// depend on map iteration order — two snapshots of the same log are
+// identical, and entries come out sorted by (dst, send sequence).
+func TestSenderLogSnapshotDeterministic(t *testing.T) {
+	l := NewSenderLog()
+	// Interleave many destinations so map iteration order would show.
+	for seq := uint64(1); seq <= 4; seq++ {
+		for dst := event.Rank(7); dst >= 1; dst-- {
+			l.Append(mkMsg(dst, seq, 8))
+		}
+	}
+	a, b := l.Snapshot(), l.Snapshot()
+	if len(a) != len(b) || len(a) != 28 {
+		t.Fatalf("snapshot sizes %d/%d, want 28", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Msg.Dst != b[i].Msg.Dst || a[i].Msg.SendSeq != b[i].Msg.SendSeq {
+			t.Fatalf("snapshots diverge at %d: %+v vs %+v", i, a[i].Msg, b[i].Msg)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		p, q := &a[i-1].Msg, &a[i].Msg
+		if p.Dst > q.Dst || (p.Dst == q.Dst && p.SendSeq >= q.SendSeq) {
+			t.Fatalf("snapshot unordered at %d: (%d,%d) then (%d,%d)", i, p.Dst, p.SendSeq, q.Dst, q.SendSeq)
+		}
+	}
+}
+
+// TestSenderLogTrimZeroesTail: in-place compaction must not leave trimmed
+// payload entries alive in the slice tail — retained memory past the bytes
+// accounting that released it.
+func TestSenderLogTrimZeroesTail(t *testing.T) {
+	l := NewSenderLog()
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.Append(mkMsg(2, seq, 10))
+	}
+	before := l.perDst[2]
+	l.TrimTo(2, 3)
+	entries := l.perDst[2]
+	if len(entries) != 2 {
+		t.Fatalf("kept %d entries, want 2", len(entries))
+	}
+	if &before[0] != &entries[0] {
+		t.Fatal("trim reallocated instead of compacting in place")
+	}
+	// The previously occupied tail slots must be zeroed.
+	for i := len(entries); i < len(before); i++ {
+		if before[i].Msg.Bytes != 0 || before[i].Msg.SendSeq != 0 || before[i].Msg.Dst != 0 {
+			t.Fatalf("tail slot %d retains %+v after trim", i, before[i])
+		}
+	}
+}
+
+// TestSenderLogForReusesScratch: serving replay must not allocate a fresh
+// slice per recovery — For's results share one scratch buffer.
+func TestSenderLogForReusesScratch(t *testing.T) {
+	l := NewSenderLog()
+	for seq := uint64(1); seq <= 4; seq++ {
+		l.Append(mkMsg(1, seq, 8))
+		l.Append(mkMsg(2, seq, 8))
+	}
+	a := l.For(1, 0)
+	if len(a) != 4 {
+		t.Fatalf("For(1,0) = %d entries", len(a))
+	}
+	b := l.For(2, 2)
+	if len(b) != 2 || b[0].Msg.SendSeq != 3 {
+		t.Fatalf("For(2,2) = %+v", b)
+	}
+	if &a[0] != &b[0] {
+		t.Error("For allocated a fresh slice instead of reusing the scratch buffer")
+	}
+	if allocs := testing.AllocsPerRun(50, func() { l.For(1, 0) }); allocs > 0 {
+		t.Errorf("For allocates %.1f per call after warmup, want 0", allocs)
+	}
+}

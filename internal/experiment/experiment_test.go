@@ -152,3 +152,35 @@ func min3(a, b, c float64) float64 {
 	}
 	return a
 }
+
+// TestExtELContributionSmokeShape encodes the EL-contribution claim on
+// the deterministic smoke grid: under the identical correlated kill, the
+// no-EL stack loses determinants in every witness-pair trial while the
+// EL-enabled stack loses none.
+func TestExtELContributionSmokeShape(t *testing.T) {
+	rep := ExtELContributionSmokeReport()
+	tab := rep.Table
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	row := tab.Rows[0] // witness-pair.3: [workload, Vcausal (EL), Vcausal (no EL)]
+	if row[0] != "witness-pair.3" {
+		t.Fatalf("first row is %q, want witness-pair.3", row[0])
+	}
+	if !strings.HasPrefix(row[1], "0/") {
+		t.Errorf("EL cell %q should lose nothing", row[1])
+	}
+	if !strings.HasPrefix(row[2], "2/2 lost") {
+		t.Errorf("no-EL cell %q should lose every trial", row[2])
+	}
+	// The raw sweep behind the table records the typed outcome, not an
+	// error, for the lost cells.
+	storm := rep.Sweeps[1]
+	cr := storm.Get("witness-pair.3", "Vcausal (no EL)", "storm-1")
+	if cr == nil || cr.Err != "" || cr.Outcome != cluster.OutcomeDeterminantLoss {
+		t.Fatalf("no-EL storm cell: %+v", cr)
+	}
+	if cr.DetLoss == nil || cr.DetLoss.Victim != 0 {
+		t.Fatalf("missing diagnostics: %+v", cr.DetLoss)
+	}
+}

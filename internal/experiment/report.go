@@ -15,19 +15,21 @@ type Report struct {
 // particular order; Names gives the paper's presentation order.
 func Index() map[string]func() *Report {
 	return map[string]func() *Report{
-		"fig1":           Fig01Report,
-		"fig6a":          Fig06aReport,
-		"fig6b":          Fig06bReport,
-		"fig7":           Fig07Report,
-		"fig8a":          Fig08aReport,
-		"fig8b":          Fig08bReport,
-		"fig9":           Fig09Report,
-		"fig10":          Fig10Report,
-		"ext-el":         ExtDistributedELReport,
-		"ext-elsweep":    ExtELServiceSweepReport,
-		"ext-sched":      ExtSchedulerPoliciesReport,
-		"ext-duplex":     ExtDuplexAblationReport,
-		"ext-faultstorm": ExtFaultstormReport,
+		"fig1":                     Fig01Report,
+		"fig6a":                    Fig06aReport,
+		"fig6b":                    Fig06bReport,
+		"fig7":                     Fig07Report,
+		"fig8a":                    Fig08aReport,
+		"fig8b":                    Fig08bReport,
+		"fig9":                     Fig09Report,
+		"fig10":                    Fig10Report,
+		"ext-el":                   ExtDistributedELReport,
+		"ext-elsweep":              ExtELServiceSweepReport,
+		"ext-sched":                ExtSchedulerPoliciesReport,
+		"ext-duplex":               ExtDuplexAblationReport,
+		"ext-faultstorm":           ExtFaultstormReport,
+		"ext-elcontribution":       ExtELContributionReport,
+		"ext-elcontribution-smoke": ExtELContributionSmokeReport,
 	}
 }
 
@@ -35,5 +37,6 @@ func Index() map[string]func() *Report {
 // reproduction's extension experiments.
 func Names() []string {
 	return []string{"fig1", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex", "ext-faultstorm"}
+		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex", "ext-faultstorm",
+		"ext-elcontribution"}
 }

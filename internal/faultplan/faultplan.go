@@ -63,7 +63,15 @@ type Storm struct {
 	// Rank is the VictimFixed target.
 	Victims VictimPolicy
 	Rank    int
-	// MaxKills caps the number of injected faults (0 = unlimited).
+	// Burst is the number of distinct ranks each arrival fells in the same
+	// instant (0 and 1 both mean single kills) — a stochastic shared
+	// failure domain. Bursts are the storm shape biased toward overlapping
+	// recoveries: with the round-robin policy the victims are consecutive
+	// ranks, which on grid workloads are communication partners — the
+	// regime where EL-less causal logging loses determinants.
+	Burst int
+	// MaxKills caps the number of injected faults (0 = unlimited); a burst
+	// is cut short when it reaches the cap.
 	MaxKills int
 }
 
@@ -187,6 +195,15 @@ func (p *Plan) Validate(np int) error {
 			if err := checkRank(fmt.Sprintf("storm %d victim", i), s.Rank); err != nil {
 				return err
 			}
+		}
+		if s.Burst < 0 {
+			return fmt.Errorf("faultplan: storm %d: negative Burst %d", i, s.Burst)
+		}
+		if s.Burst > 1 && s.Victims == VictimFixed {
+			return fmt.Errorf("faultplan: storm %d: Burst %d needs distinct victims; VictimFixed names one rank", i, s.Burst)
+		}
+		if np > 0 && s.Burst > np {
+			return fmt.Errorf("faultplan: storm %d: Burst %d exceeds np %d", i, s.Burst, np)
 		}
 	}
 	for i, c := range p.Correlated {
@@ -394,6 +411,10 @@ func (e *Engine) startStorm(i int) {
 		}
 		return s.MinInterval + sim.Time(rng.Int63n(span+1))
 	}
+	burst := s.Burst
+	if burst < 1 {
+		burst = 1
+	}
 	var arrive func()
 	arrive = func() {
 		d := e.t.Dispatcher
@@ -403,12 +424,23 @@ func (e *Engine) startStorm(i int) {
 		if s.End > 0 && e.t.Kernel.Now() > s.End {
 			return
 		}
-		if v := e.pickVictim(s.Victims, s.Rank, &e.stormCursor[i], rng); v >= 0 {
+		// A burst fells distinct ranks in the same instant (a shared
+		// failure domain); victims already chosen this arrival are
+		// excluded so the burst never doubles up on one rank.
+		var chosen []int
+		for b := 0; b < burst; b++ {
+			v := e.pickVictimExcluding(s.Victims, s.Rank, &e.stormCursor[i], rng, chosen)
+			if v < 0 {
+				e.VictimMisses++
+				break
+			}
+			chosen = append(chosen, v)
 			d.Kill(v)
 			e.StormKills++
 			e.stormKills[i]++
-		} else {
-			e.VictimMisses++
+			if s.MaxKills > 0 && e.stormKills[i] >= s.MaxKills {
+				break
+			}
 		}
 		if s.MaxKills > 0 && e.stormKills[i] >= s.MaxKills {
 			return
@@ -474,18 +506,32 @@ func (e *Engine) fireCascades(trig Trigger, rank int) {
 // still running": restarting ranks stay in the pool (killing them extends
 // their outage), finished ranks leave it.
 func (e *Engine) pickVictim(pol VictimPolicy, fixed int, cursor *int, rng *rand.Rand) int {
+	return e.pickVictimExcluding(pol, fixed, cursor, rng, nil)
+}
+
+// pickVictimExcluding is pickVictim with an exclusion list (the victims a
+// burst already chose this arrival).
+func (e *Engine) pickVictimExcluding(pol VictimPolicy, fixed int, cursor *int, rng *rand.Rand, exclude []int) int {
 	d := e.t.Dispatcher
 	np := d.NP()
+	excluded := func(r int) bool {
+		for _, x := range exclude {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
 	switch pol {
 	case VictimFixed:
-		if !d.RankDone(fixed) {
+		if !d.RankDone(fixed) && !excluded(fixed) {
 			return fixed
 		}
 		return -1
 	case VictimRandom:
 		var candidates []int
 		for r := 0; r < np; r++ {
-			if !d.RankDone(r) {
+			if !d.RankDone(r) && !excluded(r) {
 				candidates = append(candidates, r)
 			}
 		}
@@ -496,7 +542,7 @@ func (e *Engine) pickVictim(pol VictimPolicy, fixed int, cursor *int, rng *rand.
 	default: // VictimRoundRobin
 		for i := 0; i < np; i++ {
 			r := (*cursor + i) % np
-			if !d.RankDone(r) {
+			if !d.RankDone(r) && !excluded(r) {
 				*cursor = (r + 1) % np
 				return r
 			}

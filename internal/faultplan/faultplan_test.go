@@ -54,7 +54,7 @@ func runPlan(t *testing.T, cfg cluster.Config, iters int) *cluster.Cluster {
 	c := cluster.New(cfg)
 	d := c.PrepareRun(ringPrograms(cfg.NP, iters, 256))
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	return c
 }
 
@@ -273,7 +273,7 @@ func TestVictimPoliciesSkipFinishedRanks(t *testing.T) {
 	}
 	d := c.PrepareRun(progs)
 	d.Launch()
-	c.RunLaunched(30 * sim.Minute)
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
 	if runs != 1 {
 		t.Fatalf("finished rank re-ran %d times", runs)
 	}
@@ -282,5 +282,56 @@ func TestVictimPoliciesSkipFinishedRanks(t *testing.T) {
 	}
 	if c.Faults.VictimMisses == 0 {
 		t.Fatal("expected victim misses once the fixed target finished")
+	}
+}
+
+// TestBurstStormKillsDistinctRanksSimultaneously: a Burst storm fells
+// Burst distinct ranks in the same instant per arrival — the storm shape
+// biased toward overlapping recoveries.
+func TestBurstStormKillsDistinctRanksSimultaneously(t *testing.T) {
+	plan := &faultplan.Plan{
+		Storms: []faultplan.Storm{{
+			MinInterval: 60 * sim.Millisecond, MaxInterval: 60 * sim.Millisecond,
+			Burst: 2, MaxKills: 4,
+		}},
+	}
+	c := cluster.New(faultedConfig(plan, 5))
+	d := c.PrepareRun(ringPrograms(4, 150, 256))
+	byTime := map[sim.Time][]int{}
+	d.Observe(func(ev failure.Event) {
+		if ev.Kind == failure.EvKill {
+			byTime[ev.Time] = append(byTime[ev.Time], ev.Rank)
+		}
+	})
+	d.Launch()
+	c.RunLaunched(30 * sim.Minute).MustCompleted()
+
+	if c.Faults.StormKills != 4 {
+		t.Fatalf("storm injected %d kills, want 4", c.Faults.StormKills)
+	}
+	if len(byTime) != 2 {
+		t.Fatalf("kills landed at %d instants, want 2 bursts: %v", len(byTime), byTime)
+	}
+	for at, ranks := range byTime {
+		if len(ranks) != 2 {
+			t.Fatalf("burst at %v felled %v, want 2 ranks", at, ranks)
+		}
+		if ranks[0] == ranks[1] {
+			t.Fatalf("burst at %v doubled up on rank %d", at, ranks[0])
+		}
+	}
+}
+
+func TestValidateRejectsBadBursts(t *testing.T) {
+	cases := []faultplan.Storm{
+		{MinInterval: sim.Millisecond, MaxInterval: sim.Millisecond, Burst: -1},
+		{MinInterval: sim.Millisecond, MaxInterval: sim.Millisecond, Burst: 2, Victims: faultplan.VictimFixed},
+		{MinInterval: sim.Millisecond, MaxInterval: sim.Millisecond, Burst: 9},
+	}
+	for i, s := range cases {
+		p := &faultplan.Plan{Storms: []faultplan.Storm{s}}
+		if err := p.Validate(4); err == nil {
+			t.Errorf("case %d: bad burst storm %+v accepted", i, s)
+		}
 	}
 }

@@ -250,7 +250,7 @@ func TestCSVShape(t *testing.T) {
 	if len(lines) != 1+len(res.Cells) {
 		t.Fatalf("CSV has %d lines, want header + %d cells", len(lines), len(res.Cells))
 	}
-	if !strings.HasPrefix(lines[0], "sweep,index,id,workload,stack,variant,np,seed,completed,elapsed_ns,mflops") {
+	if !strings.HasPrefix(lines[0], "sweep,index,id,workload,stack,variant,np,seed,completed,outcome,elapsed_ns,mflops") {
 		t.Errorf("unexpected CSV header: %s", lines[0])
 	}
 	if !strings.Contains(lines[0], ProbeELBacklog) {

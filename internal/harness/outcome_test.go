@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/faultplan"
+	"mpichv/internal/sim"
+	"mpichv/internal/workload"
+)
+
+// lossSpec sweeps the shared minimal determinant-loss topology (see
+// workload.BuildWitnessPair): a correlated kill of {victim, witness}
+// destroys every copy of the victim's determinants when no Event Logger
+// is deployed.
+func lossSpec() *SweepSpec {
+	plan := &faultplan.Plan{
+		Correlated: []faultplan.CorrelatedKill{{At: 8 * sim.Millisecond, Ranks: []int{0, 1}}},
+	}
+	return &SweepSpec{
+		Name: "loss-grid",
+		Workloads: []Workload{{
+			Key:  "loss.3",
+			Make: func() *workload.Instance { return workload.BuildWitnessPair(40) },
+		}},
+		Stacks: []Stack{
+			{Key: "no-el", Label: "Vcausal (no EL)", Stack: cluster.StackVcausal, Reducer: "vcausal"},
+			{Key: "el", Label: "Vcausal (EL)", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true},
+		},
+		Variants:   []Variant{{Key: "storm", Faults: plan, RestartDelay: 5 * sim.Millisecond}},
+		MaxVirtual: 30 * sim.Minute,
+		Probes:     []string{ProbeDetLossCount, ProbeLostClockSpan, ProbeKills},
+	}
+}
+
+// TestOutcomeDeterminantLossThroughHarness: the concurrent-kill no-EL cell
+// records the typed outcome (not Err), with diagnostics and probes, while
+// its EL-enabled sibling completes under the identical storm.
+func TestOutcomeDeterminantLossThroughHarness(t *testing.T) {
+	res := Run(lossSpec(), Options{Parallel: 2})
+
+	noEL := res.Get("loss.3", "no-el", "storm")
+	if noEL == nil {
+		t.Fatal("missing no-EL cell")
+	}
+	if noEL.Err != "" {
+		t.Fatalf("determinant loss must not be an error, got Err=%q", noEL.Err)
+	}
+	if noEL.Outcome != cluster.OutcomeDeterminantLoss {
+		t.Fatalf("no-EL outcome = %q, want determinant-loss", noEL.Outcome)
+	}
+	if noEL.Completed {
+		t.Error("no-EL cell reported completed")
+	}
+	if noEL.DetLoss == nil || noEL.DetLoss.Victim != 0 || noEL.DetLoss.Lost <= 0 {
+		t.Errorf("diagnostics missing or implausible: %+v", noEL.DetLoss)
+	}
+	if got := noEL.Probes[ProbeDetLossCount]; got != 1 {
+		t.Errorf("det_loss_count = %v, want 1", got)
+	}
+	if got := noEL.Probes[ProbeLostClockSpan]; got < 1 {
+		t.Errorf("lost_clock_span = %v, want >= 1", got)
+	}
+
+	el := res.Get("loss.3", "el", "storm")
+	if el == nil || el.Outcome != cluster.OutcomeCompleted || !el.Completed || el.Err != "" {
+		t.Fatalf("EL sibling should complete under the same storm: %+v", el)
+	}
+	if el.Probes[ProbeDetLossCount] != 0 {
+		t.Errorf("EL sibling recorded losses: %v", el.Probes[ProbeDetLossCount])
+	}
+}
+
+// TestOutcomeSurvivesJSONAndCSV: the outcome and its diagnostics round-trip
+// through the machine-readable serializations.
+func TestOutcomeSurvivesJSONAndCSV(t *testing.T) {
+	res := Run(lossSpec(), Options{Parallel: 1})
+
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	noEL := back.Get("loss.3", "no-el", "storm")
+	if noEL == nil || noEL.Outcome != cluster.OutcomeDeterminantLoss {
+		t.Fatalf("JSON round-trip lost the outcome: %+v", noEL)
+	}
+	if noEL.DetLoss == nil || noEL.DetLoss.Victim != 0 || noEL.DetLoss.MissingFrom == 0 {
+		t.Fatalf("JSON round-trip lost the diagnostics: %+v", noEL.DetLoss)
+	}
+	el := back.Get("loss.3", "el", "storm")
+	if el == nil || el.Outcome != cluster.OutcomeCompleted || el.DetLoss != nil {
+		t.Fatalf("JSON round-trip mangled the completed sibling: %+v", el)
+	}
+
+	csvOut, err := res.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut), "\n")
+	cols := strings.Split(lines[0], ",")
+	outcomeCol := -1
+	for i, c := range cols {
+		if c == "outcome" {
+			outcomeCol = i
+		}
+	}
+	if outcomeCol < 0 {
+		t.Fatalf("CSV header lacks outcome column: %s", lines[0])
+	}
+	found := map[string]bool{}
+	for _, line := range lines[1:] {
+		found[strings.Split(line, ",")[outcomeCol]] = true
+	}
+	if !found[string(cluster.OutcomeDeterminantLoss)] || !found[string(cluster.OutcomeCompleted)] {
+		t.Fatalf("CSV rows missing outcomes: %v", found)
+	}
+
+	// Worker count must not change the serialized bytes.
+	again, err := Run(lossSpec(), Options{Parallel: 3}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("outcome serialization differs across worker counts")
+	}
+}

@@ -25,6 +25,13 @@ const (
 	// plan (0 when the variant carries none); it differs from ProbeKills
 	// when FaultAt/FaultEvery compose with a plan.
 	ProbePlanKills = "plan_kills"
+	// ProbeDetLossCount is the number of determinant losses recorded by
+	// the cell (the run stops at the first, so this is 0 or 1 in practice).
+	ProbeDetLossCount = "det_loss_count"
+	// ProbeLostClockSpan is the total number of lost determinant clocks
+	// across the cell's recorded losses (exact count — witnessed clocks
+	// interleaved inside a loss's bounding range are not included).
+	ProbeLostClockSpan = "lost_clock_span"
 )
 
 // probeFuncs maps probe names to their collectors.
@@ -49,6 +56,16 @@ var probeFuncs = map[string]func(*cluster.Cluster) float64{
 			return 0
 		}
 		return float64(c.Faults.InjectedKills())
+	},
+	ProbeDetLossCount: func(c *cluster.Cluster) float64 {
+		return float64(len(c.DetLosses))
+	},
+	ProbeLostClockSpan: func(c *cluster.Cluster) float64 {
+		lost := 0
+		for _, dl := range c.DetLosses {
+			lost += dl.Lost
+		}
+		return float64(lost)
 	},
 }
 

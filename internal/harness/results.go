@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 
+	"mpichv/internal/cluster"
+	"mpichv/internal/daemon"
 	"mpichv/internal/sim"
 	"mpichv/internal/trace"
 )
@@ -28,6 +30,17 @@ type CellResult struct {
 	// Completed reports whether every rank finished before the cell's
 	// virtual-time cap.
 	Completed bool `json:"completed"`
+	// Outcome classifies how the cell's run ended (completed,
+	// determinant-loss, diverged, deadlock-timeout). Determinant loss is a
+	// measured result of the protocol configuration under the fault
+	// scenario — it is distinct from Err, which records real failures
+	// (panics, probe errors, timeouts). Empty only when the cell erred
+	// before the run could be classified.
+	Outcome cluster.Outcome `json:"outcome,omitempty"`
+	// DetLoss carries the first determinant loss's diagnostics (victim,
+	// missing clock range, concurrently dead peers) when Outcome is
+	// determinant-loss.
+	DetLoss *daemon.DeterminantLoss `json:"det_loss,omitempty"`
 	// Elapsed is the virtual completion time in nanoseconds (the cap if
 	// the run did not complete).
 	Elapsed sim.Time `json:"elapsed_ns"`
@@ -127,7 +140,7 @@ func (r *Results) CSV() (string, error) {
 
 	header := []string{
 		"sweep", "index", "id", "workload", "stack", "variant", "np", "seed",
-		"completed", "elapsed_ns", "mflops",
+		"completed", "outcome", "elapsed_ns", "mflops",
 		"app_bytes_sent", "app_msgs_sent", "piggyback_bytes", "piggyback_events",
 		"header_bytes", "control_bytes", "control_msgs",
 		"send_piggyback_ns", "recv_piggyback_ns",
@@ -151,6 +164,7 @@ func (r *Results) CSV() (string, error) {
 			strconv.Itoa(c.Index), c.ID, c.Workload, c.Stack, c.Variant,
 			strconv.Itoa(c.NP), strconv.FormatInt(c.Seed, 10),
 			strconv.FormatBool(c.Completed),
+			string(c.Outcome),
 			strconv.FormatInt(int64(c.Elapsed), 10),
 			formatFloat(c.Mflops),
 			strconv.FormatInt(c.Stats.AppBytesSent, 10),

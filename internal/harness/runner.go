@@ -183,7 +183,16 @@ func execute(cell *Cell, deadline time.Time, timeout time.Duration) (cr CellResu
 	end := c.K.RunUntil(cell.MaxVirtual)
 
 	cr.Completed = d.AllDone()
+	cr.Outcome = c.Outcome()
+	cr.DetLoss = c.FirstDetLoss()
 	if !cr.Completed && !deadline.IsZero() && time.Now().After(deadline) {
+		// The wall-clock watchdog stopped the kernel: the cell was most
+		// likely deadlocked (it would otherwise have reached its virtual
+		// cap quickly); a concurrently detected determinant loss keeps its
+		// own classification.
+		if cr.Outcome == cluster.OutcomeDiverged {
+			cr.Outcome = cluster.OutcomeDeadlockTimeout
+		}
 		cr.Err = fmt.Sprintf("cell timed out after %v (wall clock)", timeout)
 	}
 	cr.Elapsed = end

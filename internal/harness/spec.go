@@ -45,16 +45,24 @@ func (s Stack) key() string {
 }
 
 // Workload is one point of the application axis: a NAS skeleton spec
-// (Spec.Bench != "") or a NetPIPE ping-pong.
+// (Spec.Bench != ""), a NetPIPE ping-pong, or an arbitrary custom
+// instance (Make != nil).
 type Workload struct {
 	// Key is the stable identifier; empty defaults to the spec string
-	// ("bt.A.9") or "pingpong.<bytes>x<reps>".
+	// ("bt.A.9") or "pingpong.<bytes>x<reps>". Custom workloads (Make)
+	// must set it.
 	Key string
 	// Spec names a NAS skeleton instance.
 	Spec workload.Spec
 	// PingPongBytes/PingPongReps select the NetPIPE benchmark instead.
 	PingPongBytes int
 	PingPongReps  int
+	// Make, when non-nil, builds an arbitrary instance (custom per-rank
+	// programs) and takes precedence over Spec and the ping-pong fields.
+	// It is invoked once per cell execution — plus once per sweep
+	// expansion, to read the instance's NP — and must return a fresh
+	// instance each time (instances hold per-run program state).
+	Make func() *workload.Instance
 	// AppStateBytes overrides the instance's checkpoint image size (0
 	// keeps the benchmark's own value).
 	AppStateBytes int64
@@ -64,6 +72,9 @@ func (w Workload) key() string {
 	if w.Key != "" {
 		return w.Key
 	}
+	if w.Make != nil {
+		panic("harness: custom workloads (Make) must set Key")
+	}
 	if w.Spec.Bench != "" {
 		return w.Spec.String()
 	}
@@ -72,6 +83,9 @@ func (w Workload) key() string {
 
 // NP returns the process count the workload deploys on.
 func (w Workload) NP() int {
+	if w.Make != nil {
+		return w.Make().NP
+	}
 	if w.Spec.Bench != "" {
 		return w.Spec.NP
 	}
@@ -82,9 +96,12 @@ func (w Workload) NP() int {
 // program state, so every cell execution builds its own.
 func (w Workload) Build() *workload.Instance {
 	var in *workload.Instance
-	if w.Spec.Bench != "" {
+	switch {
+	case w.Make != nil:
+		in = w.Make()
+	case w.Spec.Bench != "":
 		in = workload.Build(w.Spec)
-	} else {
+	default:
 		in = workload.BuildPingPong(w.PingPongBytes, w.PingPongReps)
 	}
 	if w.AppStateBytes > 0 {
@@ -203,6 +220,9 @@ func (s *SweepSpec) Cells() []Cell {
 	var cells []Cell
 	seen := make(map[string]bool)
 	for _, w := range s.Workloads {
+		// Resolved once per workload: for custom workloads (Make) reading
+		// NP builds a throwaway instance, so it must not run per cell.
+		np := w.NP()
 		for _, st := range stacks {
 			for _, v := range variants {
 				id := w.key() + "|" + st.key() + "|" + v.key()
@@ -211,7 +231,7 @@ func (s *SweepSpec) Cells() []Cell {
 				}
 				seen[id] = true
 				cfg := cluster.Config{
-					NP:           w.NP(),
+					NP:           np,
 					Stack:        st.Stack,
 					Reducer:      st.Reducer,
 					UseEL:        st.UseEL,

@@ -79,6 +79,9 @@ type Network struct {
 	// The network belongs to exactly one single-threaded kernel, so a plain
 	// free list suffices.
 	freeDeliveries []*deliveryEvent
+	// flightHead chains the delivery events currently between send and
+	// arrival (see RangeInFlight).
+	flightHead *deliveryEvent
 
 	// TotalBytes counts application-visible bytes accepted for transmission
 	// (excluding frame overhead), for whole-run accounting.
@@ -89,28 +92,63 @@ type Network struct {
 
 // deliveryEvent carries one in-flight message through the kernel queue. The
 // fire closure is built once per pooled object; it hands the delivery to the
-// destination endpoint and returns itself to the network's free list.
+// destination endpoint and returns itself to the network's free list. While
+// in flight the event sits on the network's intrusive doubly-linked list,
+// so diagnostics can see traffic between send and arrival without any
+// per-message allocation.
 type deliveryEvent struct {
-	to   *Endpoint
-	d    Delivery
-	fire func()
+	to         *Endpoint
+	d          Delivery
+	fire       func()
+	prev, next *deliveryEvent
 }
 
 func (n *Network) newDelivery(to *Endpoint, d Delivery) *deliveryEvent {
+	var ev *deliveryEvent
 	if k := len(n.freeDeliveries); k > 0 {
-		ev := n.freeDeliveries[k-1]
+		ev = n.freeDeliveries[k-1]
 		n.freeDeliveries = n.freeDeliveries[:k-1]
 		ev.to, ev.d = to, d
-		return ev
+	} else {
+		ev = &deliveryEvent{to: to, d: d}
+		ev.fire = func() {
+			to, d := ev.to, ev.d
+			ev.to, ev.d = nil, Delivery{}
+			n.unlinkFlight(ev)
+			n.freeDeliveries = append(n.freeDeliveries, ev)
+			to.deliver(d)
+		}
 	}
-	ev := &deliveryEvent{to: to, d: d}
-	ev.fire = func() {
-		to, d := ev.to, ev.d
-		ev.to, ev.d = nil, Delivery{}
-		n.freeDeliveries = append(n.freeDeliveries, ev)
-		to.deliver(d)
+	ev.prev, ev.next = nil, n.flightHead
+	if n.flightHead != nil {
+		n.flightHead.prev = ev
 	}
+	n.flightHead = ev
 	return ev
+}
+
+func (n *Network) unlinkFlight(ev *deliveryEvent) {
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		n.flightHead = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	}
+	ev.prev, ev.next = nil, nil
+}
+
+// RangeInFlight calls fn on every message accepted for transmission but
+// not yet delivered (most recently sent first), stopping early when fn
+// returns false. It is a pure read: recovery diagnostics use it to see
+// piggyback copies that exist only on the wire.
+func (n *Network) RangeInFlight(fn func(Delivery) bool) {
+	for ev := n.flightHead; ev != nil; ev = ev.next {
+		if !fn(ev.d) {
+			return
+		}
+	}
 }
 
 // Endpoint is one attachment point (one node's NIC).

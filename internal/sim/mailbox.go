@@ -133,3 +133,14 @@ func (m *Mailbox[T]) TryGet() (T, bool) {
 
 // Len reports the number of queued items.
 func (m *Mailbox[T]) Len() int { return m.count }
+
+// Range calls fn on every queued item in FIFO order without consuming any,
+// stopping early when fn returns false. It is a pure read: recovery
+// diagnostics use it to inspect undelivered traffic.
+func (m *Mailbox[T]) Range(fn func(T) bool) {
+	for i := 0; i < m.count; i++ {
+		if !fn(m.ring[(m.head+i)%len(m.ring)]) {
+			return
+		}
+	}
+}

@@ -12,7 +12,7 @@ func runInstance(t *testing.T, in *Instance, stack, reducer string, useEL bool) 
 	c := cluster.New(cluster.Config{
 		NP: in.NP, Stack: stack, Reducer: reducer, UseEL: useEL,
 	})
-	end := c.Run(in.Programs, 4*sim.Minute*60) // generous virtual cap
+	end := c.Run(in.Programs, 4*sim.Minute*60).MustCompleted() // generous virtual cap
 	return end, c
 }
 

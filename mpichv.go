@@ -40,8 +40,14 @@
 //		Reducer: "manetho",
 //		UseEL:   true,
 //	})
-//	elapsed := c.Run(bench.Programs, 10*mpichv.Minute)
+//	elapsed := c.Run(bench.Programs, 10*mpichv.Minute).MustCompleted()
 //	fmt.Printf("%.1f Mflop/s\n", bench.Mflops(elapsed))
+//
+// Run returns a structured RunResult: Outcome classifies completion,
+// determinant loss (the paper's known limitation of EL-less causal logging
+// under concurrent failures, reported as a measured result rather than an
+// error), divergence at the virtual cap, or a watchdog stop; MustCompleted
+// is the loud path for callers that assume completion.
 //
 // Custom applications implement Program: a function receiving the rank's
 // daemon node, typically wrapped in a Comm for the MPI API.
@@ -131,6 +137,17 @@ type (
 	// (kill/restart/recovered/finished), see Dispatcher.Observe.
 	DispatcherEvent = failure.Event
 
+	// RunResult is the structured outcome of one Cluster.Run: the Outcome
+	// classification, the final virtual time, and determinant-loss
+	// diagnostics when that is how the run ended.
+	RunResult = cluster.RunResult
+	// RunOutcome classifies how a run ended (see the Outcome* constants).
+	RunOutcome = cluster.Outcome
+	// DeterminantLoss carries the diagnostics of a determinant-loss
+	// outcome: victim rank, missing clock range, and which concurrently
+	// dead peers held the only copies.
+	DeterminantLoss = daemon.DeterminantLoss
+
 	// SweepSpec is a declarative cartesian experiment grid.
 	SweepSpec = harness.SweepSpec
 	// SweepStack is one point of a sweep's protocol axis.
@@ -192,6 +209,16 @@ const (
 	PolicyRoundRobin  = checkpoint.PolicyRoundRobin
 	PolicyRandom      = checkpoint.PolicyRandom
 	PolicyCoordinated = checkpoint.PolicyCoordinated
+)
+
+// Run outcomes. Determinant loss is a first-class result: the paper's
+// known limitation of causal logging without an Event Logger under
+// concurrent failures, quantified by the ext-elcontribution experiment.
+const (
+	OutcomeCompleted       = cluster.OutcomeCompleted
+	OutcomeDeterminantLoss = cluster.OutcomeDeterminantLoss
+	OutcomeDiverged        = cluster.OutcomeDiverged
+	OutcomeDeadlockTimeout = cluster.OutcomeDeadlockTimeout
 )
 
 // Fault-plan victim policies.
@@ -263,7 +290,9 @@ func SetExperimentRunner(opts SweepOptions) { experiment.SetRunnerOptions(opts) 
 
 // Experiment runs one of the paper's evaluation artifacts by name and
 // returns its table. Names: "fig1", "fig6a", "fig6b", "fig7", "fig8a",
-// "fig8b", "fig9", "fig10". Unknown names return nil.
+// "fig8b", "fig9", "fig10", plus the reproduction's extensions (see
+// ExperimentNames, e.g. "ext-faultstorm", "ext-elcontribution"). Unknown
+// names return nil.
 func Experiment(name string) *Table {
 	fn, ok := ExperimentIndex()[name]
 	if !ok {

@@ -15,7 +15,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		Reducer: "manetho",
 		UseEL:   true,
 	})
-	elapsed := c.Run(bench.Programs, 10*mpichv.Minute)
+	elapsed := c.Run(bench.Programs, 10*mpichv.Minute).MustCompleted()
 	if elapsed <= 0 {
 		t.Fatal("run failed")
 	}
@@ -41,7 +41,7 @@ func TestPublicCustomProgram(t *testing.T) {
 			sum += r
 		}
 	}
-	c.Run(programs, mpichv.Minute)
+	c.Run(programs, mpichv.Minute).MustCompleted()
 	if sum != 3 {
 		t.Fatalf("programs ran sum=%d, want 3", sum)
 	}
