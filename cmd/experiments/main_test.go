@@ -40,6 +40,26 @@ func TestResolveFigures(t *testing.T) {
 		}
 	})
 
+	t.Run("partition experiments registered", func(t *testing.T) {
+		names, err := resolveFigures("ext-partition,ext-partition-smoke", reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"ext-partition", "ext-partition-smoke"}
+		if !reflect.DeepEqual(names, want) {
+			t.Errorf("resolve = %v, want %v", names, want)
+		}
+		found := false
+		for _, n := range mpichv.ExperimentNames() {
+			if n == "ext-partition" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("ext-partition missing from ExperimentNames")
+		}
+	})
+
 	t.Run("unknown figure", func(t *testing.T) {
 		if _, err := resolveFigures("99", reports); err == nil {
 			t.Error("unknown figure should error")

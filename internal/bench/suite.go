@@ -6,11 +6,14 @@ import (
 	"mpichv/internal/causal"
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/cluster"
+	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/faultplan"
 	"mpichv/internal/harness"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/protocols"
 	"mpichv/internal/sim"
+	"mpichv/internal/vproto"
 	"mpichv/internal/workload"
 )
 
@@ -33,6 +36,7 @@ func Suite() map[string]func(b *testing.B) {
 		"reducer/logon":       reducerBench("logon"),
 		"vproto/enc-factored": benchEncodeFactored,
 		"vproto/enc-flat":     benchEncodeFlat,
+		"daemon/replay-serve": benchReplayServe,
 		"cell/vdummy":         cellBench(cluster.Config{NP: 4, Stack: cluster.StackVdummy}),
 		"cell/pessimistic":    cellBench(cluster.Config{NP: 4, Stack: cluster.StackPessimistic}),
 		"cell/vcausal-el":     cellBench(cluster.Config{NP: 4, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}),
@@ -193,6 +197,57 @@ func benchEncodeFlat(b *testing.B) {
 		buf = event.AppendFlat(buf[:0], ds)
 	}
 	_ = buf
+}
+
+// benchReplayServe measures one full sender-log replay service: a peer's
+// recovery requests the 64-payload replay set and the serving daemon
+// re-transmits it. This is the recovery-path hot spot the batched replay
+// chain targets — the sequential path paid one blocking sleep (a kernel
+// timer plus two goroutine switches) per logged payload; the chain pays
+// one park for the whole set.
+func benchReplayServe(b *testing.B) {
+	k := sim.NewKernel(1)
+	net := netmodel.New(k, netmodel.FastEthernet(), 2)
+	n := daemon.NewNode(k, net, 0, 2, daemon.Vdaemon(), daemon.DefaultCalibration(),
+		protocols.NewVcausal("vcausal", 0, 2, false))
+	const entries = 64
+	for s := 1; s <= entries; s++ {
+		n.Log.Append(vproto.Message{Src: 0, Dst: 1, Tag: 1, Bytes: 1024, SendSeq: uint64(s)})
+	}
+	k.Spawn("server", func(p *sim.Proc) {
+		n.Bind(p)
+		for {
+			n.WaitPacket()
+		}
+	})
+	request := func() {
+		req := vproto.GetPacket()
+		req.Kind = vproto.PktDetRequest
+		req.From = 1
+		req.Creator = 1
+		net.Endpoint(1).Send(0, 32, req)
+	}
+	remaining := b.N
+	got := 0
+	net.Endpoint(1).SetHandler(func(d netmodel.Delivery) {
+		pkt := d.Payload.(*vproto.Packet)
+		if pkt.Kind == vproto.PktApp {
+			got++
+			if got == entries {
+				got = 0
+				remaining--
+				if remaining == 0 {
+					k.Stop()
+				} else {
+					request()
+				}
+			}
+		}
+		vproto.PutPacket(pkt)
+	})
+	b.ResetTimer()
+	k.At(0, func() { request() })
+	k.Run()
 }
 
 // cellBench runs one complete CG.A.4 simulation per iteration on the given

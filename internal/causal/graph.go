@@ -38,6 +38,10 @@ type graph struct {
 	lastHeld []uint64
 	stable   []uint64
 
+	// conflict latches determinant-ID conflicts found by insert (the
+	// owning reducer exposes it through TakeIDConflict).
+	conflict *conflictLatch
+
 	// headOwn is the local process's latest event; every held node is in
 	// its causal past (piggybacks are merged before the carrying reception
 	// is appended), so it is the root for frontier computations.
@@ -142,6 +146,16 @@ func (g *graph) newVec() []uint64 {
 func (g *graph) insert(d event.Determinant) (inserted bool, ops int64) {
 	c := d.ID.Creator
 	if d.ID.Clock <= g.lastHeld[c] || d.ID.Clock <= g.stable[c] {
+		// Duplicate or already stable. A copy still in the graph is
+		// compared against the incoming content: a mismatch means the
+		// creator re-created this ID after a regressed recovery — caught
+		// here, at merge time, before the aliased antecedence edges can
+		// close a cycle (see TakeIDConflict).
+		if g.conflict != nil {
+			if held := g.index[d.ID]; held != nil && conflicts(held.d, d) {
+				g.conflict.latch(held.d, d)
+			}
+		}
 		return false, 1
 	}
 	n := g.alloc(d)

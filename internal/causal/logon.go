@@ -14,12 +14,16 @@ import (
 // the order constraint prevents factoring events by receiver rank, so each
 // event carries its receiver id on the wire (flat encoding, §III-C).
 type LogOn struct {
+	conflictLatch
+
 	g *graph
 }
 
 // NewLogOn returns an empty LogOn reducer for rank self of np processes.
 func NewLogOn(self event.Rank, np int) *LogOn {
-	return &LogOn{g: newGraph(self, np)}
+	l := &LogOn{g: newGraph(self, np)}
+	l.g.conflict = &l.conflictLatch
+	return l
 }
 
 // Name implements Reducer.

@@ -13,13 +13,17 @@ import (
 // that makes Manetho's reception handling the most expensive of the three
 // protocols (paper §V-D.2).
 type Manetho struct {
+	conflictLatch
+
 	g *graph
 }
 
 // NewManetho returns an empty Manetho reducer for rank self of np
 // processes.
 func NewManetho(self event.Rank, np int) *Manetho {
-	return &Manetho{g: newGraph(self, np)}
+	m := &Manetho{g: newGraph(self, np)}
+	m.g.conflict = &m.conflictLatch
+	return m
 }
 
 // Name implements Reducer.

@@ -101,6 +101,17 @@ type Reducer interface {
 	// PiggybackBytes reports the wire size of a piggyback in this
 	// protocol's encoding (factored for Vcausal/Manetho, flat for LogOn).
 	PiggybackBytes(ds []event.Determinant) int
+
+	// TakeIDConflict returns and clears the first determinant-ID conflict
+	// observed since the last call: an incoming determinant whose
+	// (creator, clock) was already held with different content. A conflict
+	// means the creator recovered from regressed state and re-created IDs
+	// — an undetected determinant loss upstream; the daemon classifies it
+	// as such before the corrupt antecedence information can grow into a
+	// graph cycle. The conflicting insert itself is dropped (the held copy
+	// wins), so the reducer's own invariants still hold when the caller
+	// chooses to continue.
+	TakeIDConflict() (existing, incoming event.Determinant, ok bool)
 }
 
 // New constructs the reducer named name ("vcausal", "manetho" or "logon")
@@ -129,4 +140,39 @@ func log2ceil(n int) int64 {
 		bits++
 	}
 	return bits
+}
+
+// conflictLatch records the first determinant-ID conflict a reducer
+// observes, for the daemon to collect after the merge (TakeIDConflict).
+// Latching only the first keeps the duplicate fast path to one comparison;
+// once a conflict exists the run's outcome is decided anyway.
+type conflictLatch struct {
+	existing, incoming event.Determinant
+	set                bool
+}
+
+func (c *conflictLatch) latch(existing, incoming event.Determinant) {
+	if !c.set {
+		c.existing, c.incoming, c.set = existing, incoming, true
+	}
+}
+
+// TakeIDConflict implements the Reducer method for every embedding
+// reducer.
+func (c *conflictLatch) TakeIDConflict() (existing, incoming event.Determinant, ok bool) {
+	if !c.set {
+		return event.Determinant{}, event.Determinant{}, false
+	}
+	existing, incoming = c.existing, c.incoming
+	c.existing, c.incoming, c.set = event.Determinant{}, event.Determinant{}, false
+	return existing, incoming, true
+}
+
+// conflicts reports whether two determinants under the same ID disagree on
+// content: a re-created ID aliases different events, the signature of a
+// regressed recovery. Lamport values are part of the content (they drive
+// LogOn's emission order), but a bare Lamport difference with identical
+// delivery content cannot change replay and is tolerated.
+func conflicts(a, b event.Determinant) bool {
+	return a.Sender != b.Sender || a.SendSeq != b.SendSeq || a.Parent != b.Parent
 }

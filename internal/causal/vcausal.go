@@ -11,6 +11,8 @@ import (
 // reduction is weaker than the graph-based protocols but every operation is
 // a sequence scan or append.
 type Vcausal struct {
+	conflictLatch
+
 	self event.Rank
 	np   int
 
@@ -62,7 +64,27 @@ func (v *Vcausal) AddLocal(d event.Determinant) int64 {
 func (v *Vcausal) append(d event.Determinant) int64 {
 	c := d.ID.Creator
 	if d.ID.Clock <= v.lastHeld[c] || d.ID.Clock <= v.stable[c] {
-		return 1 // duplicate or already stable: one comparison
+		// Duplicate or already stable. A still-held copy is compared
+		// against the incoming content: a mismatch means the creator
+		// re-created this ID after a regressed recovery (see
+		// TakeIDConflict). Stable (collected) copies can no longer be
+		// compared. The sequence is clock-ordered but may carry gaps, so
+		// the copy is found by binary search.
+		if seq := v.seqs[c]; len(seq) > 0 && d.ID.Clock >= seq[0].ID.Clock {
+			lo, hi := 0, len(seq)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if seq[mid].ID.Clock < d.ID.Clock {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(seq) && seq[lo].ID == d.ID && conflicts(seq[lo], d) {
+				v.latch(seq[lo], d)
+			}
+		}
+		return 1 // one comparison on the fast path
 	}
 	v.seqs[c] = append(v.seqs[c], d)
 	v.lastHeld[c] = d.ID.Clock

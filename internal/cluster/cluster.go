@@ -111,10 +111,24 @@ type Cluster struct {
 	// most one entry per run in practice.
 	DetLosses []daemon.DeterminantLoss
 
+	// FalseSuspicions records every confirmed false suspicion: a live rank
+	// declared dead (a partition outlasted the detector's patience) whose
+	// stale incarnation was fenced when the replacement spawned. Unlike a
+	// determinant loss it does not stop the run — surviving it is the
+	// point — but it flips the outcome to OutcomeFalseSuspicion.
+	FalseSuspicions []FalseSuspicion
+
 	// killedAt / recoveredAt track each rank's latest kill and recovery
-	// times (-1 = never), feeding determinant-loss diagnostics.
+	// times (-1 = never), feeding determinant-loss diagnostics;
+	// suspectedAt tracks the latest detector declaration per rank.
 	killedAt    []sim.Time
 	recoveredAt []sim.Time
+	suspectedAt []sim.Time
+	// announcedEpoch[r] is the incarnation of rank r the dispatcher has
+	// announced to the peers (0 until a false suspicion forces one); the
+	// witness scan uses it to mirror the receivers' fence on in-flight
+	// traffic.
+	announcedEpoch []int
 }
 
 // New builds a cluster per cfg. Endpoint layout: 0..NP-1 computing nodes,
@@ -183,8 +197,10 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{Cfg: cfg, K: k, Net: net}
 	c.killedAt = make([]sim.Time, cfg.NP)
 	c.recoveredAt = make([]sim.Time, cfg.NP)
+	c.suspectedAt = make([]sim.Time, cfg.NP)
+	c.announcedEpoch = make([]int, cfg.NP)
 	for r := 0; r < cfg.NP; r++ {
-		c.killedAt[r], c.recoveredAt[r] = -1, -1
+		c.killedAt[r], c.recoveredAt[r], c.suspectedAt[r] = -1, -1, -1
 	}
 
 	wantEL := cfg.Stack == StackPessimistic || (cfg.Stack == StackVcausal && cfg.UseEL)
@@ -280,6 +296,7 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 			Dispatcher: d,
 			Scheduler:  c.Scheduler,
 			CkptServer: c.CkptServer,
+			Network:    c.Net,
 			Seed:       c.Cfg.Seed,
 		}
 		if c.ELGroup != nil {
@@ -301,7 +318,12 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 // MustCompleted).
 func (c *Cluster) RunLaunched(maxVirtual sim.Time) RunResult {
 	end := c.K.RunUntil(maxVirtual)
-	return RunResult{Outcome: c.Outcome(), End: end, DetLoss: c.FirstDetLoss()}
+	return RunResult{
+		Outcome:         c.Outcome(),
+		End:             end,
+		DetLoss:         c.FirstDetLoss(),
+		FalseSuspicions: c.FalseSuspicions,
+	}
 }
 
 // AggregateStats sums all per-node probes.

@@ -20,6 +20,14 @@ type Outcome string
 const (
 	// OutcomeCompleted: every rank's program finished.
 	OutcomeCompleted Outcome = "completed"
+	// OutcomeFalseSuspicion: every rank's program finished, but at least
+	// one rank was falsely declared dead along the way — both incarnations
+	// were observed alive and the stale one had to be fenced (a partition
+	// made a live rank unreachable past the detector's patience). The run
+	// is complete and consistent; the outcome is the diagnostic that the
+	// fail-stop assumption was violated and survived only thanks to the
+	// incarnation fence (see Cluster.FalseSuspicions).
+	OutcomeFalseSuspicion Outcome = "false-suspicion"
 	// OutcomeDeterminantLoss: a recovery could not reassemble its replay
 	// set because every copy of some determinants died with crashed peers;
 	// the run stopped at the first detection (see Cluster.DetLosses).
@@ -32,24 +40,44 @@ const (
 	OutcomeDeadlockTimeout Outcome = "deadlock-timeout"
 )
 
+// FalseSuspicion records one confirmed false suspicion: the detector
+// declared a live rank dead and its stale incarnation was fenced when the
+// replacement spawned.
+type FalseSuspicion struct {
+	// Rank is the falsely suspected rank.
+	Rank int `json:"rank"`
+	// SuspectedAt is the virtual time of the detector's declaration.
+	SuspectedAt sim.Time `json:"suspected_at_ns"`
+	// FencedAt is the virtual time the stale incarnation was fenced (the
+	// replacement's spawn instant).
+	FencedAt sim.Time `json:"fenced_at_ns"`
+	// Incarnation is the replacement incarnation announced to the peers.
+	Incarnation int `json:"incarnation"`
+}
+
 // RunResult is the structured outcome of one deployment run.
 type RunResult struct {
 	// Outcome classifies how the run ended.
 	Outcome Outcome
 	// End is the final virtual time: the completion time when Outcome is
-	// OutcomeCompleted, otherwise the time the run stopped.
+	// OutcomeCompleted (or OutcomeFalseSuspicion), otherwise the time the
+	// run stopped.
 	End sim.Time
 	// DetLoss carries the diagnostics of the first determinant loss (nil
 	// unless Outcome is OutcomeDeterminantLoss).
 	DetLoss *daemon.DeterminantLoss
+	// FalseSuspicions carries the confirmed false suspicions observed
+	// during the run (non-empty when Outcome is OutcomeFalseSuspicion).
+	FalseSuspicions []FalseSuspicion
 }
 
 // MustCompleted returns the completion time, panicking on any other
 // outcome — the loud-failure path for callers whose downstream arithmetic
-// assumes a finished run (the legacy Run contract).
+// assumes a finished run (the legacy Run contract). A completion that
+// survived false suspicion is a completion.
 func (r RunResult) MustCompleted() sim.Time {
 	switch r.Outcome {
-	case OutcomeCompleted:
+	case OutcomeCompleted, OutcomeFalseSuspicion:
 		return r.End
 	case OutcomeDeterminantLoss:
 		panic(fmt.Sprintf("cluster: determinant loss: %v", *r.DetLoss))
@@ -62,6 +90,9 @@ func (r RunResult) MustCompleted() sim.Time {
 // stopped (RunLaunched assembles it into a RunResult).
 func (c *Cluster) Outcome() Outcome {
 	if c.Dispatcher != nil && c.Dispatcher.AllDone() {
+		if len(c.FalseSuspicions) > 0 {
+			return OutcomeFalseSuspicion
+		}
 		return OutcomeCompleted
 	}
 	if len(c.DetLosses) > 0 {
@@ -129,23 +160,52 @@ func (c *Cluster) witnessed(creator event.Rank, from, to uint64) []bool {
 	}
 	// Messages between send and arrival exist only on the wire; a
 	// piggyback copy riding one still reaches a live peer, so it counts
-	// as a witness too.
+	// as a witness too — unless its sender incarnation has been fenced
+	// (the packet will be discarded on arrival, so its copies are lost,
+	// not latent). Deliveries held on a partitioned link are still in
+	// flight and still count: a heal re-delivers them.
 	c.Net.RangeInFlight(func(d netmodel.Delivery) bool {
+		if src, inc, ok := daemon.AppIncarnation(d); ok && inc < c.announcedEpoch[src] {
+			return true
+		}
 		daemon.MarkWitnessedInDelivery(d, creator, from, to, mark)
 		return true
 	})
 	return out
 }
 
-// trackLifecycle subscribes to the dispatcher's event stream so
-// determinant-loss diagnostics can tell which failures overlapped.
+// trackLifecycle subscribes to the dispatcher's event stream: kill and
+// recovery times feed determinant-loss diagnostics; a fence event (a
+// confirmed false suspicion) is recorded and its replacement incarnation
+// announced to every peer daemon — the simulation's equivalent of the
+// dispatcher publishing a restarted rank's new connection identity, which
+// is what lets survivors refuse the stale incarnation's traffic when a
+// healed partition releases it.
 func (c *Cluster) trackLifecycle(d *failure.Dispatcher) {
 	d.Observe(func(ev failure.Event) {
 		switch ev.Kind {
-		case failure.EvKill:
+		case failure.EvKill, failure.EvSuspect:
 			c.killedAt[ev.Rank] = ev.Time
+			if ev.Kind == failure.EvSuspect {
+				c.suspectedAt[ev.Rank] = ev.Time
+			}
 		case failure.EvRecovered:
 			c.recoveredAt[ev.Rank] = ev.Time
+		case failure.EvFenced:
+			next := c.Nodes[ev.Rank].NextIncarnation()
+			c.announcedEpoch[ev.Rank] = next
+			c.Nodes[ev.Rank].MarkFencedRestart()
+			for r, n := range c.Nodes {
+				if r != ev.Rank {
+					n.FenceIncarnation(event.Rank(ev.Rank), next)
+				}
+			}
+			c.FalseSuspicions = append(c.FalseSuspicions, FalseSuspicion{
+				Rank:        ev.Rank,
+				SuspectedAt: c.suspectedAt[ev.Rank],
+				FencedAt:    ev.Time,
+				Incarnation: next,
+			})
 		}
 	})
 }

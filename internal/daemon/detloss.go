@@ -43,6 +43,16 @@ type DeterminantLoss struct {
 	// antecedents), false when it is an unwitnessed truncation of the
 	// replay tail below LastSendClock.
 	Gap bool `json:"gap"`
+	// Conflict is true when the loss was detected as a determinant-ID
+	// conflict at antecedence-graph merge time: a survivor held a
+	// determinant under the same (creator, clock) with different content,
+	// which means the creator recovered from regressed state (an earlier
+	// undetected loss) and re-created IDs. MissingFrom/MissingTo bound the
+	// conflicting clock; the detecting rank is recorded in Detector.
+	Conflict bool `json:"conflict,omitempty"`
+	// Detector is the rank that observed a Conflict (the victim itself for
+	// the gap and truncation forms).
+	Detector event.Rank `json:"detector,omitempty"`
 	// DeadPeers are the ranks whose death or recovery overlapped the
 	// victim's failure — the candidates that held the only copies. Filled
 	// by the cluster layer, which can see the whole deployment.
@@ -52,6 +62,11 @@ type DeterminantLoss struct {
 }
 
 func (dl DeterminantLoss) String() string {
+	if dl.Conflict {
+		return fmt.Sprintf(
+			"rank %d re-created determinant ID (creator %d, clock %d) with different content — regressed recovery after an undetected loss (detected by rank %d at merge; concurrently dead peers %v)",
+			dl.Victim, dl.Victim, dl.MissingFrom, dl.Detector, dl.DeadPeers)
+	}
 	form := "truncated"
 	if dl.Gap {
 		form = "gap"
@@ -86,11 +101,13 @@ func (n *Node) reportDeterminantLoss(dl DeterminantLoss) {
 // creator with clock in [from, to] that any volatile state of this node
 // still witnesses: the protocol's held set, the piggyback of a
 // delivered-but-unconsumed message, a held application packet, or an inbox
-// packet not yet accepted. The cluster's loss check scans survivors with
-// it — one linear pass per node, so a recovery probing a wide missing
-// range stays cheap even against the unbounded held sets of EL-less
-// deployments. The scan is a pure read: it charges no CPU and draws no
-// randomness, so runs that complete are unaffected by it.
+// packet not yet accepted. Packets from a fenced sender incarnation do not
+// count: they will be discarded at acceptance, so a copy riding one is
+// lost, not latent. The cluster's loss check scans survivors with it — one
+// linear pass per node, so a recovery probing a wide missing range stays
+// cheap even against the unbounded held sets of EL-less deployments. The
+// scan is a pure read: it charges no CPU and draws no randomness, so runs
+// that complete are unaffected by it.
 func (n *Node) MarkWitnessedDeterminants(creator event.Rank, from, to uint64, mark func(uint64)) {
 	markPB := func(pb []event.Determinant) {
 		for _, d := range pb {
@@ -104,11 +121,49 @@ func (n *Node) MarkWitnessedDeterminants(creator event.Rank, from, to uint64, ma
 		markPB(m.Piggyback)
 	}
 	for _, m := range n.heldApp {
+		if m.Inc < n.peerEpoch[m.Src] {
+			continue // fenced at flush time, never merged
+		}
 		markPB(m.Piggyback)
 	}
 	n.ep.Inbox.Range(func(d netmodel.Delivery) bool {
+		if src, inc, ok := AppIncarnation(d); ok && inc < n.peerEpoch[src] {
+			return true // fenced at acceptance, never merged
+		}
 		MarkWitnessedInDelivery(d, creator, from, to, mark)
 		return true
+	})
+}
+
+// AppIncarnation extracts the sender rank and incarnation of the
+// application packet carried by a delivery (ok is false for control
+// packets). The cluster's witness scan uses it to skip in-flight traffic
+// from fenced incarnations.
+func AppIncarnation(d netmodel.Delivery) (src event.Rank, inc int, ok bool) {
+	pkt, isPkt := d.Payload.(*vproto.Packet)
+	if !isPkt || pkt.Kind != vproto.PktApp {
+		return 0, 0, false
+	}
+	return pkt.App.Src, pkt.App.Inc, true
+}
+
+// ReportDeterminantIDConflict classifies a determinant-ID conflict found at
+// antecedence-graph merge time — a survivor already held existing under the
+// same (creator, clock) as incoming with different content. Only a creator
+// that recovered from regressed state after an undetected determinant loss
+// re-creates IDs, so the conflict is the loss's downstream signature; it is
+// reported through the standard determinant-loss outcome (and halts the
+// detecting incarnation, exactly like a first-hand loss) instead of the
+// antecedence-cycle abort it would otherwise grow into.
+func (n *Node) ReportDeterminantIDConflict(existing, incoming event.Determinant) {
+	n.reportDeterminantLoss(DeterminantLoss{
+		Victim:      existing.ID.Creator,
+		Detector:    n.rank,
+		Incarnation: n.recoveryEpoch,
+		MissingFrom: existing.ID.Clock,
+		MissingTo:   existing.ID.Clock,
+		Lost:        1,
+		Conflict:    true,
 	})
 }
 

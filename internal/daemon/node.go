@@ -173,6 +173,22 @@ type Node struct {
 	// addressed to a dead incarnation (killed mid-recovery) cannot
 	// satisfy the next incarnation's collection with stale data.
 	recoveryEpoch int
+	// peerEpoch[r] is the lowest incarnation of rank r this daemon still
+	// accepts application packets from. It stays zero — and the fence
+	// inert — until the dispatcher fences a falsely suspected rank and the
+	// deployment announces the replacement incarnation (FenceIncarnation):
+	// from then on the stale incarnation's packets, including the ones a
+	// healed partition releases, are discarded instead of corrupting the
+	// sequence trackers and the antecedence graph. Daemon-level state: it
+	// survives this node's own restarts.
+	peerEpoch []int
+	// fencedRestart marks that this rank's previous incarnation was fenced
+	// while alive (false suspicion): some of its sends may have been held
+	// on a partitioned link and discarded by the peers' fence, and the
+	// fast-forward will not re-execute them. The next recovery re-transmits
+	// the restored sender log so receivers can fill the gap (duplicate
+	// suppression absorbs everything they already consumed).
+	fencedRestart bool
 	// dedupSeen is the recovery-time determinant dedup set, reused across
 	// recoveries so collection does not allocate a fresh map per restart.
 	dedupSeen map[event.EventID]bool
@@ -220,9 +236,10 @@ func NewNode(k *sim.Kernel, net *netmodel.Network, rank event.Rank, np int,
 		rank: rank, np: np,
 		Stack: stack, Cal: cal, Proto: proto,
 		ELEndpoint: -1, CkptEndpoint: -1, DispatcherEndpoint: -1,
-		seqTrack: make([]seqTracker, np),
-		sendSeq:  make([]uint64, np),
-		Log:      NewSenderLog(),
+		seqTrack:  make([]seqTracker, np),
+		sendSeq:   make([]uint64, np),
+		peerEpoch: make([]int, np),
+		Log:       NewSenderLog(),
 	}
 	return n
 }
@@ -271,6 +288,33 @@ func (n *Node) Lamport() uint64 { return n.lamport }
 // Clock returns the node's nondeterministic-event clock (the number of
 // reception determinants it has created).
 func (n *Node) Clock() uint64 { return n.clock }
+
+// Incarnation returns the node's current incarnation (its recovery epoch:
+// 0 for the initial incarnation, incremented by every recovery).
+func (n *Node) Incarnation() int { return n.recoveryEpoch }
+
+// NextIncarnation returns the incarnation the node's next recovery will
+// run as. The dispatcher announces it when it fences a falsely suspected
+// rank: the announcement happens at respawn time, before the replacement
+// incarnation's PrepareRecovery increments the epoch.
+func (n *Node) NextIncarnation() int { return n.recoveryEpoch + 1 }
+
+// FenceIncarnation discards future application packets from incarnations
+// of rank r below inc — the receiver side of the dispatcher's incarnation
+// announcement after a false suspicion. The fence only ever tightens.
+func (n *Node) FenceIncarnation(r event.Rank, inc int) {
+	if inc > n.peerEpoch[r] {
+		n.peerEpoch[r] = inc
+	}
+}
+
+// MarkFencedRestart tells the node its previous incarnation was fenced
+// while alive: the next PrepareRecovery re-transmits the restored sender
+// log, because sends the stale incarnation made into a partitioned link
+// were discarded by the peers' fence and the fast-forward skips their
+// program steps. Installed by the deployment layer on the dispatcher's
+// fence announcement.
+func (n *Node) MarkFencedRestart() { n.fencedRestart = true }
 
 // RecvQueueSnapshot returns copies of the currently delivered, unconsumed
 // application messages (Chandy-Lamport channel-state seeding). Piggyback
@@ -357,10 +401,20 @@ func (n *Node) Send(dst event.Rank, tag int, bytes int) {
 // transmit charges the send-side software costs and puts m on the wire.
 // It is also used to re-emit logged payloads during a peer's recovery.
 func (n *Node) transmit(m *vproto.Message) {
-	cpu := n.Stack.SendOverhead + n.Stack.PipeOverhead +
-		sim.Time(int64(m.Bytes)*int64(n.Stack.CopyPerByte+n.Stack.PipePerByte))
-	n.ChargeCPU(cpu)
+	n.ChargeCPU(n.transmitCPU(m))
+	n.emit(m)
+}
 
+// transmitCPU is the send-side software cost of one message.
+func (n *Node) transmitCPU(m *vproto.Message) sim.Time {
+	return n.Stack.SendOverhead + n.Stack.PipeOverhead +
+		sim.Time(int64(m.Bytes)*int64(n.Stack.CopyPerByte+n.Stack.PipePerByte))
+}
+
+// emit accounts m and puts it on the wire (the non-blocking half of
+// transmit; the CPU cost must already have been charged).
+func (n *Node) emit(m *vproto.Message) {
+	m.Inc = n.recoveryEpoch
 	wire := m.Bytes + n.Stack.HeaderBytes + m.PiggybackBytes
 	n.stats.AppBytesSent += int64(m.Bytes)
 	n.stats.AppMsgsSent++
@@ -521,6 +575,15 @@ func (n *Node) process(d netmodel.Delivery) {
 	switch pkt.Kind {
 	case vproto.PktApp:
 		m := pkt.App
+		if m.Inc < n.peerEpoch[m.Src] {
+			// Fenced: the sender incarnation was superseded after a false
+			// suspicion. Its packets — typically released by a healing
+			// partition — must not touch the sequence trackers or reach the
+			// reducers: the replacement incarnation re-creates this history,
+			// possibly with different determinants under the same IDs.
+			n.stats.FencedStaleMsgs++
+			return
+		}
 		if n.recovering {
 			n.heldApp = append(n.heldApp, m)
 			return
@@ -594,12 +657,70 @@ func (n *Node) serveDetRequest(req detRequest) {
 		n.SendPacket(int(requester), bytes, resp)
 	}
 	if n.Proto.UsesSenderLog() {
-		for _, lp := range n.Log.For(requester, req.seqFloor) {
-			m := lp.Msg
-			m.Replay = true
-			n.transmit(&m)
-		}
+		n.replayLogged(requester, req.seqFloor)
 	}
+}
+
+// replayLogged re-transmits the logged payloads sent to dst with sequence
+// above seqFloor — the batched sender-log replay of a peer's recovery.
+//
+// The sequential path charged each message's software cost with its own
+// blocking sleep: one kernel timer plus two goroutine switches per logged
+// payload, which under fault storms made replay service the dominant host
+// cost of the recovery path. The batched path gathers the replay set once
+// and hands it to a chain of kernel events: each link emits one message at
+// exactly the virtual instant the sequential path would have (after the
+// preceding messages' cumulative CPU cost), while the serving process
+// parks once for the whole set. Virtual-time behaviour — departure
+// instants, wire occupancy, the serving daemon staying unresponsive for
+// the set's total CPU time — is preserved; only the per-message
+// park/unpark handshakes are batched away. A kill landing mid-replay
+// aborts the chain exactly where the sequential path would have stopped
+// transmitting.
+func (n *Node) replayLogged(dst event.Rank, seqFloor uint64) {
+	entries := n.Log.For(dst, seqFloor)
+	if len(entries) == 0 {
+		return
+	}
+	// Copy the burst out of the log's scratch: the chain outlives this
+	// call, and the scratch is reused by the next For. The buffer is
+	// freshly allocated per replay — receivers retain pointers to the
+	// delivered messages, so it must never be recycled — but it is one
+	// allocation per replay set instead of the sequential path's one
+	// escaping copy per message.
+	burst := make([]vproto.Message, 0, len(entries))
+	total := sim.Time(0)
+	for _, lp := range entries {
+		m := lp.Msg
+		m.Replay = true
+		burst = append(burst, m)
+		total += n.transmitCPU(&m)
+	}
+	if len(burst) == 1 || total == 0 {
+		// Nothing to batch (or a free cost model, where the chain's event
+		// deferral would not be equivalent): transmit inline.
+		for i := range burst {
+			n.transmit(&burst[i])
+		}
+		return
+	}
+	p := n.proc
+	idx := 0
+	var link func()
+	link = func() {
+		if n.proc != p || p.Killed() || p.Finished() {
+			return // the serving incarnation died mid-replay: stop emitting
+		}
+		n.emit(&burst[idx])
+		idx++
+		if idx < len(burst) {
+			n.k.After(n.transmitCPU(&burst[idx]), link)
+			return
+		}
+		p.Unpark()
+	}
+	n.k.After(n.transmitCPU(&burst[0]), link)
+	p.Park()
 }
 
 // RequestCheckpoint marks a checkpoint request to be honoured at the next
@@ -748,6 +869,22 @@ func (n *Node) PrepareRecovery() {
 		n.Proto.Restore(n, im)
 	}
 	n.flushHeldApp()
+
+	// 1b. A fenced predecessor (false suspicion) may have sent into a
+	// partitioned link: those packets are discarded by the peers' fence,
+	// and the steps that produced them are fast-forwarded, so nothing
+	// would ever re-send them. Re-transmit the restored sender log —
+	// receivers' duplicate suppression absorbs everything they already
+	// consumed, and the fenced gap is filled with payloads that carry this
+	// incarnation's epoch.
+	if n.fencedRestart {
+		n.fencedRestart = false
+		for r := 0; r < n.np; r++ {
+			if event.Rank(r) != n.rank {
+				n.replayLogged(event.Rank(r), 0)
+			}
+		}
+	}
 
 	// 2. Collect the determinants to replay (timed: the paper's Figure 10).
 	collectStart := n.Now()
@@ -924,6 +1061,10 @@ func (n *Node) flushHeldApp() {
 	n.heldApp = nil
 	n.recovering = false
 	for _, m := range held {
+		if m.Inc < n.peerEpoch[m.Src] {
+			n.stats.FencedStaleMsgs++
+			continue // fenced while held (see process PktApp)
+		}
 		if n.seqTrack[m.Src].accept(m.SendSeq) {
 			n.recvQ = append(n.recvQ, m)
 		}

@@ -30,6 +30,8 @@ func Index() map[string]func() *Report {
 		"ext-faultstorm":           ExtFaultstormReport,
 		"ext-elcontribution":       ExtELContributionReport,
 		"ext-elcontribution-smoke": ExtELContributionSmokeReport,
+		"ext-partition":            ExtPartitionReport,
+		"ext-partition-smoke":      ExtPartitionSmokeReport,
 	}
 }
 
@@ -38,5 +40,5 @@ func Index() map[string]func() *Report {
 func Names() []string {
 	return []string{"fig1", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9", "fig10",
 		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex", "ext-faultstorm",
-		"ext-elcontribution"}
+		"ext-elcontribution", "ext-partition"}
 }

@@ -29,6 +29,15 @@ const (
 	EvRecovered
 	// EvFinished: the rank's program completed.
 	EvFinished
+	// EvSuspect: the failure detector declared the rank dead without
+	// killing its process (a network partition made it unreachable); a
+	// replacement incarnation is scheduled exactly as after a kill.
+	EvSuspect
+	// EvFenced: at respawn time the suspected rank's process was still
+	// alive — the suspicion was false, both incarnations were observed
+	// alive, and the stale one was fenced (terminated and its future
+	// traffic marked discardable by the incarnation announcement).
+	EvFenced
 )
 
 // String names the event kind.
@@ -42,6 +51,10 @@ func (k EventKind) String() string {
 		return "recovered"
 	case EvFinished:
 		return "finished"
+	case EvSuspect:
+		return "suspect"
+	case EvFenced:
+		return "fenced"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -64,6 +77,11 @@ type Dispatcher struct {
 	Coordinated bool
 	// RestartDelay models failure detection plus process relaunch.
 	RestartDelay sim.Time
+	// RestartDelayFn, when non-nil, replaces the constant RestartDelay with
+	// a per-fault draw (fault plans install restart-delay distributions
+	// here; draws happen in kill order, which the kernel makes
+	// deterministic).
+	RestartDelayFn func() sim.Time
 
 	// gen guards against overlapping kill/restart races: a restart only
 	// fires if no newer kill superseded it.
@@ -89,6 +107,12 @@ type Dispatcher struct {
 	// Kills and Restarts count fault injections and relaunches.
 	Kills    int64
 	Restarts int64
+	// Suspicions counts detector declarations made through Suspect;
+	// FalseSuspicions counts the ones whose process was still alive when
+	// the replacement incarnation fenced it (both incarnations observed
+	// alive).
+	Suspicions      int64
+	FalseSuspicions int64
 }
 
 // NewDispatcher builds a dispatcher for the given nodes and programs.
@@ -239,7 +263,7 @@ func (d *Dispatcher) Kill(r int) {
 		}
 		d.emit(EvKill, r)
 		gen := append([]int64(nil), d.gen...)
-		d.k.After(d.RestartDelay, func() {
+		d.k.After(d.restartDelay(), func() {
 			for i := range d.nodes {
 				if d.gen[i] == gen[i] {
 					d.spawn(i, true, i == r)
@@ -254,10 +278,76 @@ func (d *Dispatcher) Kill(r int) {
 	d.recovering[r] = false
 	d.procs[r].Kill()
 	d.emit(EvKill, r)
-	d.k.After(d.RestartDelay, func() {
+	d.k.After(d.restartDelay(), func() {
 		if d.gen[r] == gen {
 			d.spawn(r, true, true)
 		}
+	})
+}
+
+// restartDelay resolves the detection-plus-relaunch delay for one fault.
+func (d *Dispatcher) restartDelay() sim.Time {
+	if d.RestartDelayFn != nil {
+		if delay := d.RestartDelayFn(); delay > 0 {
+			return delay
+		}
+	}
+	return d.RestartDelay
+}
+
+// Suspect declares rank r dead without killing its process — the failure
+// detector's view when a network partition makes a live rank unreachable.
+// A replacement incarnation is scheduled after the restart delay, exactly
+// as for a kill; when the respawn fires and the suspected process is still
+// alive, the suspicion was false: the stale incarnation is fenced
+// (terminated — in the real system its connections are refused once the
+// dispatcher publishes the new incarnation) and EvFenced is emitted so the
+// deployment can announce the new incarnation to every peer. Suspecting a
+// finished or already-restarting rank is a no-op; under coordinated
+// checkpointing a suspicion is equivalent to a kill (rollback-all has no
+// per-rank fencing to model). A suspicion before Launch is deferred like a
+// kill.
+func (d *Dispatcher) Suspect(r int) {
+	if r < 0 || r >= len(d.nodes) {
+		panic(fmt.Sprintf("failure: Suspect(%d) out of range (np=%d)", r, len(d.nodes)))
+	}
+	if d.Coordinated {
+		d.Kill(r)
+		return
+	}
+	if !d.launched {
+		d.pendingKills = append(d.pendingKills, r)
+		return
+	}
+	if d.nodes[r].Done() || d.restarting[r] {
+		return
+	}
+	d.Suspicions++
+	d.gen[r]++
+	gen := d.gen[r]
+	d.restarting[r] = true
+	d.recovering[r] = false
+	stale := d.procs[r]
+	d.emit(EvSuspect, r)
+	d.k.After(d.restartDelay(), func() {
+		if d.gen[r] != gen {
+			return // superseded by a real kill (or another suspicion path)
+		}
+		if d.nodes[r].Done() {
+			// The suspected process completed behind the partition; there
+			// is nothing to recover and respawning would re-run the
+			// finished program.
+			d.restarting[r] = false
+			return
+		}
+		if stale != nil && !stale.Killed() && !stale.Finished() {
+			// Both incarnations observed alive: fence the stale one now,
+			// before its replacement binds the node.
+			d.FalseSuspicions++
+			stale.Kill()
+			d.emit(EvFenced, r)
+		}
+		d.spawn(r, true, true)
 	})
 }
 

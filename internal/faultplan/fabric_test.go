@@ -1,0 +1,227 @@
+package faultplan_test
+
+import (
+	"testing"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/faultplan"
+	"mpichv/internal/sim"
+)
+
+func TestValidateRejectsBadFabricOps(t *testing.T) {
+	bad := []faultplan.Plan{
+		// Partitions.
+		{Partitions: []faultplan.Partition{{Groups: [][]int{{0, 1, 2, 3}}}}},
+		{Partitions: []faultplan.Partition{{Groups: [][]int{{0}, {}}}}},
+		{Partitions: []faultplan.Partition{{Groups: [][]int{{0}, {0, 1}}}}},
+		{Partitions: []faultplan.Partition{{Groups: [][]int{{0}, {9}}}}},
+		{Partitions: []faultplan.Partition{{At: -1, Groups: [][]int{{0}, {1}}}}},
+		// Detector timeout at or past the heal: it could never fire.
+		{Partitions: []faultplan.Partition{{
+			Groups: [][]int{{0}, {1}}, Duration: sim.Second, SuspectAfter: sim.Second,
+		}}},
+		// Degrades.
+		{Degrades: []faultplan.DegradeLink{{From: 0, To: 0}}},
+		{Degrades: []faultplan.DegradeLink{{From: 0, To: 9}}},
+		{Degrades: []faultplan.DegradeLink{{From: 0, To: 1, LatencyFactor: 0.5}}},
+		{Degrades: []faultplan.DegradeLink{{From: 0, To: 1, BandwidthFactor: 2}}},
+		{Degrades: []faultplan.DegradeLink{{From: 0, To: 1, Jitter: -1}}},
+		// Heals.
+		{Heals: []faultplan.Heal{{From: 0, To: 9}}},
+		{Heals: []faultplan.Heal{{At: -1, All: true}}},
+		// Restart-delay distributions.
+		{RestartDelay: faultplan.DelayDist{Dist: "gamma", Value: sim.Second}},
+		{RestartDelay: faultplan.DelayDist{Dist: faultplan.DistConstant}},
+		{RestartDelay: faultplan.DelayDist{Dist: faultplan.DistExponential}},
+		{RestartDelay: faultplan.DelayDist{Dist: faultplan.DistUniform, Min: sim.Second, Max: sim.Millisecond}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("bad plan %d passed validation", i)
+		}
+	}
+	good := faultplan.Plan{
+		Partitions: []faultplan.Partition{{
+			Groups: [][]int{{0}, {1, 2, 3}}, Duration: sim.Second,
+			SuspectAfter: 100 * sim.Millisecond,
+		}},
+		Degrades: []faultplan.DegradeLink{{From: 0, To: 1, Both: true,
+			LatencyFactor: 2, BandwidthFactor: 0.5, Jitter: sim.Microsecond}},
+		Heals:        []faultplan.Heal{{At: 2 * sim.Second, All: true}},
+		RestartDelay: faultplan.DelayDist{Dist: faultplan.DistUniform, Min: sim.Millisecond, Max: sim.Second},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("good fabric plan rejected: %v", err)
+	}
+}
+
+// TestPartitionBlackoutStallsAndHeals: a transient partition with no
+// detector timeout suspends the ring without any kill; held deliveries are
+// released on heal and the run completes.
+func TestPartitionBlackoutStallsAndHeals(t *testing.T) {
+	plan := &faultplan.Plan{
+		Partitions: []faultplan.Partition{{
+			At:       5 * sim.Millisecond,
+			Groups:   [][]int{{0}, {1, 2, 3}},
+			Duration: 3 * sim.Millisecond,
+		}},
+	}
+	c := runPlan(t, faultedConfig(plan, 11), 40)
+	if c.Dispatcher.Kills != 0 || c.Dispatcher.Suspicions != 0 {
+		t.Fatalf("blackout injected kills=%d suspicions=%d, want 0/0",
+			c.Dispatcher.Kills, c.Dispatcher.Suspicions)
+	}
+	if c.Faults.PartitionsApplied != 1 {
+		t.Fatalf("PartitionsApplied=%d, want 1", c.Faults.PartitionsApplied)
+	}
+	if c.Faults.BlackoutSpan != 3*sim.Millisecond {
+		t.Fatalf("BlackoutSpan=%v, want 3ms", c.Faults.BlackoutSpan)
+	}
+	if c.Net.HeldDeliveries == 0 || c.Net.ReleasedDeliveries != c.Net.HeldDeliveries {
+		t.Fatalf("held=%d released=%d: every held delivery must be released on heal",
+			c.Net.HeldDeliveries, c.Net.ReleasedDeliveries)
+	}
+}
+
+// TestPartitionFalseSuspicionFencesStaleTraffic is the canonical scenario:
+// the partition outlasts the detector, a live rank is declared dead and
+// its replacement starts recovering, the link heals after recovery began,
+// and the fenced stale incarnation's released traffic is discarded. The
+// run completes consistently (delivery recording would panic on any
+// replay divergence) with the structured false-suspicion outcome.
+func TestPartitionFalseSuspicionFencesStaleTraffic(t *testing.T) {
+	plan := &faultplan.Plan{
+		Partitions: []faultplan.Partition{{
+			At:           5 * sim.Millisecond,
+			Groups:       [][]int{{0}, {1, 2, 3}},
+			Duration:     25 * sim.Millisecond, // heal at 30ms
+			SuspectAfter: 2 * sim.Millisecond,  // suspect at 7ms, fence+respawn at 22ms
+		}},
+	}
+	cfg := faultedConfig(plan, 7)
+	cfg.RecordDeliveries = true
+	c := cluster.New(cfg)
+	d := c.PrepareRun(ringPrograms(cfg.NP, 60, 256))
+	d.Launch()
+	res := c.RunLaunched(30 * sim.Minute)
+
+	if res.Outcome != cluster.OutcomeFalseSuspicion {
+		t.Fatalf("outcome %q, want %q", res.Outcome, cluster.OutcomeFalseSuspicion)
+	}
+	if len(res.FalseSuspicions) != 1 {
+		t.Fatalf("false suspicions %v, want exactly one", res.FalseSuspicions)
+	}
+	fs := res.FalseSuspicions[0]
+	if fs.Rank != 0 || fs.Incarnation != 1 {
+		t.Fatalf("false suspicion %+v, want rank 0 incarnation 1", fs)
+	}
+	if fs.SuspectedAt != 7*sim.Millisecond || fs.FencedAt != 22*sim.Millisecond {
+		t.Fatalf("false suspicion timing %+v, want suspect 7ms fence 22ms", fs)
+	}
+	if d.FalseSuspicions != 1 {
+		t.Fatalf("dispatcher false suspicions=%d, want 1", d.FalseSuspicions)
+	}
+	if got := c.AggregateStats().FencedStaleMsgs; got == 0 {
+		t.Fatal("no stale packets fenced: the healed partition must have released some")
+	}
+	// MustCompleted treats a survived false suspicion as completion.
+	res.MustCompleted()
+}
+
+// TestDegradeLinkSlowsTheRun: a degraded pair completes, slower than the
+// fault-free run, with both directions counted.
+func TestDegradeLinkSlowsTheRun(t *testing.T) {
+	base := runPlan(t, faultedConfig(nil, 5), 40)
+	plan := &faultplan.Plan{
+		Degrades: []faultplan.DegradeLink{{
+			At: sim.Millisecond, From: 0, To: 1, Both: true,
+			LatencyFactor: 8, BandwidthFactor: 0.125,
+			Jitter: 20 * sim.Microsecond,
+		}},
+	}
+	c := runPlan(t, faultedConfig(plan, 5), 40)
+	if c.Faults.LinksDegraded != 2 {
+		t.Fatalf("LinksDegraded=%d, want 2", c.Faults.LinksDegraded)
+	}
+	if c.K.Now() <= base.K.Now() {
+		t.Fatalf("degraded run (%v) not slower than fault-free (%v)", c.K.Now(), base.K.Now())
+	}
+}
+
+// TestRestartDelayDistributionDeterministic: the per-fault draws come from
+// the plan's own stream — identical (plan, seed) reproduce the run
+// exactly; a different plan seed samples different delays.
+func TestRestartDelayDistributionDeterministic(t *testing.T) {
+	mkPlan := func(seed int64) *faultplan.Plan {
+		return &faultplan.Plan{
+			Seed: seed,
+			Correlated: []faultplan.CorrelatedKill{
+				{At: 4 * sim.Millisecond, Ranks: []int{1}},
+				{At: 12 * sim.Millisecond, Ranks: []int{2}},
+			},
+			RestartDelay: faultplan.DelayDist{
+				Dist: faultplan.DistUniform,
+				Min:  2 * sim.Millisecond, Max: 40 * sim.Millisecond,
+			},
+		}
+	}
+	elapsed := func(planSeed int64) sim.Time {
+		c := runPlan(t, faultedConfig(mkPlan(planSeed), 3), 40)
+		return c.K.Now()
+	}
+	a, b, other := elapsed(101), elapsed(101), elapsed(102)
+	if a != b {
+		t.Fatalf("identical (plan, seed) diverged: %v vs %v", a, b)
+	}
+	if a == other {
+		t.Fatal("different plan seeds drew identical restart delays (suspicious)")
+	}
+}
+
+// TestDirectedHealDisarmsDetector: an explicit Heal restoring the cut
+// links before SuspectAfter fires must disarm the detector — reachable
+// ranks are never falsely suspected.
+func TestDirectedHealDisarmsDetector(t *testing.T) {
+	plan := &faultplan.Plan{
+		Partitions: []faultplan.Partition{{
+			At:           5 * sim.Millisecond,
+			Groups:       [][]int{{0}, {1, 2, 3}},
+			Duration:     40 * sim.Millisecond,
+			SuspectAfter: 20 * sim.Millisecond, // would fire at 25ms
+		}},
+		// Restore every cut pair at 10ms, well before the detector times
+		// out.
+		Heals: []faultplan.Heal{
+			{At: 10 * sim.Millisecond, From: 0, To: 1, Both: true},
+			{At: 10 * sim.Millisecond, From: 0, To: 2, Both: true},
+			{At: 10 * sim.Millisecond, From: 0, To: 3, Both: true},
+		},
+	}
+	c := runPlan(t, faultedConfig(plan, 17), 40)
+	if c.Dispatcher.Suspicions != 0 || c.Dispatcher.FalseSuspicions != 0 {
+		t.Fatalf("detector fired on a healed network: suspicions=%d false=%d",
+			c.Dispatcher.Suspicions, c.Dispatcher.FalseSuspicions)
+	}
+	if c.Faults.BlackoutSpan != 0 {
+		t.Fatalf("BlackoutSpan=%v, want 0 (window closed by the explicit heal)", c.Faults.BlackoutSpan)
+	}
+}
+
+// TestHealAllClosesOpenPartition: an open-ended partition (Duration 0) is
+// closed by an explicit Heal{All}, and the blackout span reflects it.
+func TestHealAllClosesOpenPartition(t *testing.T) {
+	plan := &faultplan.Plan{
+		Partitions: []faultplan.Partition{{
+			At:     5 * sim.Millisecond,
+			Groups: [][]int{{0}, {1, 2, 3}},
+		}},
+		Heals: []faultplan.Heal{{At: 9 * sim.Millisecond, All: true}},
+	}
+	c := runPlan(t, faultedConfig(plan, 13), 40)
+	if c.Faults.BlackoutSpan != 4*sim.Millisecond {
+		t.Fatalf("BlackoutSpan=%v, want 4ms", c.Faults.BlackoutSpan)
+	}
+	if c.Faults.HealsApplied != 1 {
+		t.Fatalf("HealsApplied=%d, want 1", c.Faults.HealsApplied)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"mpichv/internal/checkpoint"
 	"mpichv/internal/eventlogger"
 	"mpichv/internal/failure"
+	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
 )
 
@@ -154,6 +155,116 @@ type Outage struct {
 	Duration sim.Time
 }
 
+// Partition severs every link between ranks of different Groups (both
+// directions) at At. Ranks absent from every group — and the stable
+// servers, which sit on dedicated endpoints — keep all their links: a
+// rank-level partition models a failed leaf switch, with the service
+// backbone on the dispatcher's side of the cut.
+type Partition struct {
+	// Key names the partition in diagnostics (optional).
+	Key string
+	At  sim.Time
+	// Groups are the isolated rank sets. A rank listed in one group loses
+	// its links to every rank of every other group.
+	Groups [][]int
+	// Duration bounds the blackout; the cross-group links heal (releasing
+	// held deliveries) at At+Duration. 0 means the partition lasts until an
+	// explicit Heal operation covers its links.
+	Duration sim.Time
+	// SuspectAfter, when positive, models the majority side's failure
+	// detector timing out on the unreachable ranks: at At+SuspectAfter —
+	// if the partition has not healed yet — every rank outside the largest
+	// group (first listed on ties) is declared dead through
+	// Dispatcher.Suspect. The suspected processes stay alive behind the
+	// cut; when the link heals after their replacements spawned, the stale
+	// incarnations have been fenced and their held traffic is discarded by
+	// the incarnation guard. 0 disables suspicion: the partition is a pure
+	// blackout.
+	SuspectAfter sim.Time
+}
+
+// DegradeLink puts the directed link From→To (and To→From when Both) in
+// the degraded state for a window: latency scaled by LatencyFactor,
+// effective bandwidth scaled by BandwidthFactor, plus an optional
+// per-delivery jitter drawn uniformly from [0, Jitter] out of a
+// deterministic per-link stream.
+type DegradeLink struct {
+	// Key names the degradation in diagnostics (optional).
+	Key      string
+	At       sim.Time
+	From, To int
+	Both     bool
+	// LatencyFactor ≥ 1 scales one-way latency (0 = unchanged).
+	LatencyFactor float64
+	// BandwidthFactor in (0, 1] scales the link's signalling rate
+	// (0 = unchanged).
+	BandwidthFactor float64
+	// Jitter is the maximum extra per-delivery latency.
+	Jitter sim.Time
+	// Duration bounds the degradation; 0 means it lasts until an explicit
+	// Heal operation covers the link.
+	Duration sim.Time
+}
+
+// Heal restores links to the healthy state at At, releasing any held
+// deliveries: the whole fabric when All is set, otherwise the directed
+// link From→To (and To→From when Both). Healing a healthy link is a
+// no-op, so one Heal can close several overlapping operations.
+type Heal struct {
+	At       sim.Time
+	All      bool
+	From, To int
+	Both     bool
+}
+
+// Distribution names for RestartDelay draws.
+const (
+	// DistConstant redraws the same Value per fault (equivalent to the
+	// dispatcher's constant, but recorded in the plan).
+	DistConstant = "const"
+	// DistUniform draws uniformly from [Min, Max].
+	DistUniform = "uniform"
+	// DistExponential draws exponentially with mean Value.
+	DistExponential = "exp"
+)
+
+// DelayDist is a restart-delay distribution: the detection-plus-relaunch
+// time drawn per fault from the plan's own deterministic stream, replacing
+// the deployment-wide constant. The zero value keeps the constant.
+type DelayDist struct {
+	// Dist selects the distribution ("" = unset, DistConstant, DistUniform,
+	// DistExponential).
+	Dist string
+	// Value is the constant value (DistConstant) or the mean
+	// (DistExponential).
+	Value sim.Time
+	// Min and Max bound DistUniform.
+	Min, Max sim.Time
+}
+
+// set reports whether the distribution replaces the constant delay.
+func (dd DelayDist) set() bool { return dd.Dist != "" }
+
+// draw samples one restart delay.
+func (dd DelayDist) draw(rng *rand.Rand) sim.Time {
+	switch dd.Dist {
+	case DistUniform:
+		span := int64(dd.Max - dd.Min)
+		if span <= 0 {
+			return dd.Min
+		}
+		return dd.Min + sim.Time(rng.Int63n(span+1))
+	case DistExponential:
+		d := sim.Time(rng.ExpFloat64() * float64(dd.Value))
+		if d <= 0 {
+			d = 1
+		}
+		return d
+	default: // DistConstant
+		return dd.Value
+	}
+}
+
 // Plan is a declarative multi-failure scenario. The zero value injects
 // nothing.
 type Plan struct {
@@ -165,6 +276,12 @@ type Plan struct {
 	Correlated []CorrelatedKill
 	Cascades   []Cascade
 	Outages    []Outage
+	Partitions []Partition
+	Degrades   []DegradeLink
+	Heals      []Heal
+	// RestartDelay, when set, replaces the dispatcher's constant restart
+	// delay with per-fault draws from the plan's "restart-delay" stream.
+	RestartDelay DelayDist
 }
 
 // Validate checks the plan's shape against the given rank count (np <= 0
@@ -265,6 +382,80 @@ func (p *Plan) Validate(np int) error {
 			return fmt.Errorf("faultplan: outage %d: needs At >= 0 and Duration > 0", i)
 		}
 	}
+	for i, pt := range p.Partitions {
+		if pt.At < 0 || pt.Duration < 0 || pt.SuspectAfter < 0 {
+			return fmt.Errorf("faultplan: partition %d: negative time field", i)
+		}
+		if len(pt.Groups) < 2 {
+			return fmt.Errorf("faultplan: partition %d: needs at least two groups", i)
+		}
+		seenRank := make(map[int]bool)
+		for gi, g := range pt.Groups {
+			if len(g) == 0 {
+				return fmt.Errorf("faultplan: partition %d: group %d is empty", i, gi)
+			}
+			for _, r := range g {
+				if err := checkRank(fmt.Sprintf("partition %d", i), r); err != nil {
+					return err
+				}
+				if seenRank[r] {
+					return fmt.Errorf("faultplan: partition %d: rank %d in more than one group", i, r)
+				}
+				seenRank[r] = true
+			}
+		}
+		if pt.SuspectAfter > 0 && pt.Duration > 0 && pt.SuspectAfter >= pt.Duration {
+			return fmt.Errorf("faultplan: partition %d: SuspectAfter %v not inside Duration %v (the detector cannot time out on a healed link)", i, pt.SuspectAfter, pt.Duration)
+		}
+	}
+	for i, dg := range p.Degrades {
+		if dg.At < 0 || dg.Duration < 0 || dg.Jitter < 0 {
+			return fmt.Errorf("faultplan: degrade %d: negative time field", i)
+		}
+		if err := checkRank(fmt.Sprintf("degrade %d From", i), dg.From); err != nil {
+			return err
+		}
+		if err := checkRank(fmt.Sprintf("degrade %d To", i), dg.To); err != nil {
+			return err
+		}
+		if dg.From == dg.To {
+			return fmt.Errorf("faultplan: degrade %d: From and To are both rank %d (loopback never degrades)", i, dg.From)
+		}
+		if dg.LatencyFactor < 0 || (dg.LatencyFactor != 0 && dg.LatencyFactor < 1) {
+			return fmt.Errorf("faultplan: degrade %d: LatencyFactor %v must be >= 1 (or 0 for unchanged)", i, dg.LatencyFactor)
+		}
+		if dg.BandwidthFactor < 0 || dg.BandwidthFactor > 1 {
+			return fmt.Errorf("faultplan: degrade %d: BandwidthFactor %v must be in (0, 1] (or 0 for unchanged)", i, dg.BandwidthFactor)
+		}
+	}
+	for i, h := range p.Heals {
+		if h.At < 0 {
+			return fmt.Errorf("faultplan: heal %d: negative At", i)
+		}
+		if h.All {
+			continue
+		}
+		if err := checkRank(fmt.Sprintf("heal %d From", i), h.From); err != nil {
+			return err
+		}
+		if err := checkRank(fmt.Sprintf("heal %d To", i), h.To); err != nil {
+			return err
+		}
+	}
+	if dd := p.RestartDelay; dd.set() {
+		switch dd.Dist {
+		case DistConstant, DistExponential:
+			if dd.Value <= 0 {
+				return fmt.Errorf("faultplan: restart delay: %s distribution needs Value > 0", dd.Dist)
+			}
+		case DistUniform:
+			if dd.Min <= 0 || dd.Max < dd.Min {
+				return fmt.Errorf("faultplan: restart delay: uniform distribution needs 0 < Min <= Max")
+			}
+		default:
+			return fmt.Errorf("faultplan: restart delay: unknown distribution %q", dd.Dist)
+		}
+	}
 	return nil
 }
 
@@ -289,6 +480,10 @@ type Targets struct {
 	EventLoggers []*eventlogger.Server
 	// CkptServer is suspended by OutageCkptServer (nil: skipped).
 	CkptServer *checkpoint.Server
+	// Network is the link fabric mutated by Partition/DegradeLink/Heal
+	// operations (nil: such operations are skipped, counted in
+	// Engine.FabricSkipped).
+	Network *netmodel.Network
 	// Seed is the fallback RNG seed when the plan's own Seed is 0.
 	Seed int64
 }
@@ -319,6 +514,22 @@ type Engine struct {
 	OutagesApplied  int64
 	OutagesSkipped  int64
 	VictimMisses    int64
+
+	// PartitionsApplied, LinksDegraded and HealsApplied count fabric
+	// operations; FabricSkipped counts the ones dropped because the
+	// deployment exposed no network; BlackoutSpan sums the partition
+	// windows that have healed (each partition's heal minus its cut);
+	// Suspicions counts the detector declarations partitions issued.
+	PartitionsApplied int64
+	LinksDegraded     int64
+	HealsApplied      int64
+	FabricSkipped     int64
+	BlackoutSpan      sim.Time
+	Suspicions        int64
+
+	// partitionDownAt[i] is partition i's cut time while it is open
+	// (-1 before the cut and after the heal), feeding BlackoutSpan.
+	partitionDownAt []sim.Time
 }
 
 // Apply validates the plan and compiles it onto the deployment: storms and
@@ -383,7 +594,183 @@ func Apply(t Targets, p *Plan) (*Engine, error) {
 		o := o
 		t.Kernel.At(o.At, func() { e.applyOutage(o) })
 	}
+	e.partitionDownAt = make([]sim.Time, len(p.Partitions))
+	for i := range p.Partitions {
+		e.partitionDownAt[i] = -1
+		e.compilePartition(i)
+	}
+	for i := range p.Degrades {
+		e.compileDegrade(i)
+	}
+	for _, h := range p.Heals {
+		h := h
+		t.Kernel.At(h.At, func() { e.applyHeal(h) })
+	}
+	if p.RestartDelay.set() {
+		rng := subRNG(seed, "restart-delay")
+		dd := p.RestartDelay
+		t.Dispatcher.RestartDelayFn = func() sim.Time { return dd.draw(rng) }
+	}
 	return e, nil
+}
+
+// compilePartition schedules partition i's cut, detector timeout and heal.
+func (e *Engine) compilePartition(i int) {
+	pt := e.plan.Partitions[i]
+	e.t.Kernel.At(pt.At, func() {
+		if e.t.Network == nil {
+			e.FabricSkipped++
+			return
+		}
+		e.t.Network.Partition(pt.Groups)
+		e.PartitionsApplied++
+		e.partitionDownAt[i] = e.t.Kernel.Now()
+	})
+	if pt.SuspectAfter > 0 {
+		e.t.Kernel.At(pt.At+pt.SuspectAfter, func() {
+			if e.partitionDownAt[i] < 0 || e.t.Dispatcher.AllDone() {
+				return // never cut (no network) or already healed
+			}
+			if !partitionActive(e.t.Network, pt.Groups) {
+				// An explicit Heal op restored the cut links before the
+				// detector's patience ran out: the ranks are reachable
+				// again, nothing to suspect.
+				return
+			}
+			for _, r := range suspectSet(pt.Groups) {
+				if !e.t.Dispatcher.RankDone(r) {
+					e.t.Dispatcher.Suspect(r)
+					e.Suspicions++
+				}
+			}
+		})
+	}
+	if pt.Duration > 0 {
+		e.t.Kernel.At(pt.At+pt.Duration, func() { e.healPartition(i) })
+	}
+}
+
+// healPartition closes partition i's blackout window, releasing held
+// deliveries. If an explicit Heal op already restored every cut link, the
+// window closes without contributing to BlackoutSpan (the blackout ended
+// at the op, which the span bookkeeping cannot see per-link).
+func (e *Engine) healPartition(i int) {
+	if e.partitionDownAt[i] < 0 {
+		return
+	}
+	pt := e.plan.Partitions[i]
+	active := partitionActive(e.t.Network, pt.Groups)
+	e.t.Network.HealPartition(pt.Groups)
+	if active {
+		e.BlackoutSpan += e.t.Kernel.Now() - e.partitionDownAt[i]
+	}
+	e.partitionDownAt[i] = -1
+}
+
+// partitionActive reports whether any cross-group link of the partition
+// is still down.
+func partitionActive(net *netmodel.Network, groups [][]int) bool {
+	groupOf := make(map[int]int, 16)
+	for gi, g := range groups {
+		for _, r := range g {
+			groupOf[r] = gi
+		}
+	}
+	for a, ga := range groupOf {
+		for b, gb := range groupOf {
+			if a != b && ga != gb && net.Link(a, b).State() == netmodel.LinkDown {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suspectSet lists the ranks the majority side's detector times out on:
+// everyone outside the largest group (first listed on ties), in the
+// plan's listing order.
+func suspectSet(groups [][]int) []int {
+	major := 0
+	for gi, g := range groups {
+		if len(g) > len(groups[major]) {
+			major = gi
+		}
+	}
+	var out []int
+	for gi, g := range groups {
+		if gi == major {
+			continue
+		}
+		out = append(out, g...)
+	}
+	return out
+}
+
+// compileDegrade schedules degrade i's onset and (bounded) recovery. The
+// jitter stream is derived per plan component and per direction, so one
+// degraded pair's draws perturb nothing else.
+func (e *Engine) compileDegrade(i int) {
+	dg := e.plan.Degrades[i]
+	jseed := int64(0)
+	if dg.Jitter > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|degrade|%d|%s", e.seed, i, dg.Key)
+		jseed = int64(h.Sum64() & (1<<63 - 1))
+	}
+	var genFwd, genRev int
+	e.t.Kernel.At(dg.At, func() {
+		if e.t.Network == nil {
+			e.FabricSkipped++
+			return
+		}
+		genFwd = e.t.Network.DegradeLink(dg.From, dg.To, dg.LatencyFactor, dg.BandwidthFactor, dg.Jitter, jseed)
+		e.LinksDegraded++
+		if dg.Both {
+			genRev = e.t.Network.DegradeLink(dg.To, dg.From, dg.LatencyFactor, dg.BandwidthFactor, dg.Jitter, jseed)
+			e.LinksDegraded++
+		}
+	})
+	if dg.Duration > 0 {
+		// The expiry ends this window and nothing else: it never un-severs
+		// a link a partition downed in the meantime, and a later degrade
+		// window that took the link over (newer generation) keeps its
+		// factors.
+		e.t.Kernel.At(dg.At+dg.Duration, func() {
+			if e.t.Network == nil {
+				return
+			}
+			e.t.Network.ClearDegrade(dg.From, dg.To, genFwd)
+			if dg.Both {
+				e.t.Network.ClearDegrade(dg.To, dg.From, genRev)
+			}
+		})
+	}
+}
+
+// applyHeal executes one explicit Heal operation. Healing through a Heal
+// op also closes any still-open partition windows whose links it restores
+// (All only), so BlackoutSpan stays meaningful for open-ended partitions.
+func (e *Engine) applyHeal(h Heal) {
+	if e.t.Network == nil {
+		e.FabricSkipped++
+		return
+	}
+	if h.All {
+		for i := range e.partitionDownAt {
+			if e.partitionDownAt[i] >= 0 {
+				e.BlackoutSpan += e.t.Kernel.Now() - e.partitionDownAt[i]
+				e.partitionDownAt[i] = -1
+			}
+		}
+		e.t.Network.HealAll()
+		e.HealsApplied++
+		return
+	}
+	e.t.Network.HealLink(h.From, h.To)
+	if h.Both {
+		e.t.Network.HealLink(h.To, h.From)
+	}
+	e.HealsApplied++
 }
 
 // subRNG derives an independent deterministic stream per plan component,

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+
+	"mpichv/internal/cluster"
+	"mpichv/internal/faultplan"
+	"mpichv/internal/sim"
+	"mpichv/internal/workload"
+)
+
+// partitionSpec sweeps the witness-pair topology through the canonical
+// false-suspicion scenario: rank 0 is isolated, suspected, fenced, and the
+// link heals after its replacement started recovering.
+func partitionSpec() *SweepSpec {
+	plan := &faultplan.Plan{
+		Partitions: []faultplan.Partition{{
+			At:           8 * sim.Millisecond,
+			Groups:       [][]int{{0}, {1, 2}},
+			Duration:     7 * sim.Millisecond,
+			SuspectAfter: 2 * sim.Millisecond,
+		}},
+	}
+	return &SweepSpec{
+		Name: "partition-grid",
+		Workloads: []Workload{{
+			Key:  "wp.3",
+			Make: func() *workload.Instance { return workload.BuildWitnessPair(40) },
+		}},
+		Stacks: []Stack{
+			{Key: "el", Label: "Vcausal (EL)", Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true},
+		},
+		Variants:   []Variant{{Key: "suspect", Faults: plan, RestartDelay: 3 * sim.Millisecond}},
+		MaxVirtual: 30 * sim.Minute,
+		Probes: []string{
+			ProbePartitionCount, ProbeBlackoutSpan, ProbeFalseSuspicions,
+			ProbeFencedStale, ProbeHeldDeliveries,
+		},
+	}
+}
+
+// TestFalseSuspicionOutcomeThroughHarness: the cell completes, carries the
+// false-suspicion outcome (not an error), and the partition probes report
+// the blackout.
+func TestFalseSuspicionOutcomeThroughHarness(t *testing.T) {
+	res := Run(partitionSpec(), Options{Parallel: 2})
+	cr := res.Get("wp.3", "el", "suspect")
+	if cr == nil {
+		t.Fatal("missing cell")
+	}
+	if cr.Err != "" {
+		t.Fatalf("false suspicion must not be an error, got Err=%q", cr.Err)
+	}
+	if !cr.Completed {
+		t.Fatal("falsely suspected run did not complete")
+	}
+	if cr.Outcome != cluster.OutcomeFalseSuspicion {
+		t.Fatalf("outcome = %q, want %q", cr.Outcome, cluster.OutcomeFalseSuspicion)
+	}
+	if got := cr.Probes[ProbePartitionCount]; got != 1 {
+		t.Errorf("partition_count = %v, want 1", got)
+	}
+	if got := cr.Probes[ProbeBlackoutSpan]; got != float64(7*sim.Millisecond) {
+		t.Errorf("blackout_span = %v, want %v", got, float64(7*sim.Millisecond))
+	}
+	if got := cr.Probes[ProbeFalseSuspicions]; got != 1 {
+		t.Errorf("false_suspicions = %v, want 1", got)
+	}
+	if got := cr.Probes[ProbeHeldDeliveries]; got < 1 {
+		t.Errorf("held_deliveries = %v, want >= 1", got)
+	}
+
+	// Determinism across worker counts, fabric included.
+	a, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(partitionSpec(), Options{Parallel: 1}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("partition sweep serialization differs across worker counts")
+	}
+}

@@ -32,6 +32,22 @@ const (
 	// across the cell's recorded losses (exact count — witnessed clocks
 	// interleaved inside a loss's bounding range are not included).
 	ProbeLostClockSpan = "lost_clock_span"
+	// ProbePartitionCount is the number of partition windows the cell's
+	// fault plan cut into the link fabric.
+	ProbePartitionCount = "partition_count"
+	// ProbeBlackoutSpan is the total virtual time (ns) the plan's healed
+	// partition windows kept links down.
+	ProbeBlackoutSpan = "blackout_span"
+	// ProbeFalseSuspicions counts confirmed false suspicions: live ranks
+	// declared dead whose stale incarnation was fenced at respawn.
+	ProbeFalseSuspicions = "false_suspicions"
+	// ProbeFencedStale counts application packets discarded by the
+	// incarnation fence across all ranks (stale traffic released by
+	// healing partitions).
+	ProbeFencedStale = "fenced_stale"
+	// ProbeHeldDeliveries counts deliveries held on downed links over the
+	// run (released plus expired plus still held at the end).
+	ProbeHeldDeliveries = "held_deliveries"
 )
 
 // probeFuncs maps probe names to their collectors.
@@ -66,6 +82,27 @@ var probeFuncs = map[string]func(*cluster.Cluster) float64{
 			lost += dl.Lost
 		}
 		return float64(lost)
+	},
+	ProbePartitionCount: func(c *cluster.Cluster) float64 {
+		if c.Faults == nil {
+			return 0
+		}
+		return float64(c.Faults.PartitionsApplied)
+	},
+	ProbeBlackoutSpan: func(c *cluster.Cluster) float64 {
+		if c.Faults == nil {
+			return 0
+		}
+		return float64(c.Faults.BlackoutSpan)
+	},
+	ProbeFalseSuspicions: func(c *cluster.Cluster) float64 {
+		return float64(c.Dispatcher.FalseSuspicions)
+	},
+	ProbeFencedStale: func(c *cluster.Cluster) float64 {
+		return float64(c.AggregateStats().FencedStaleMsgs)
+	},
+	ProbeHeldDeliveries: func(c *cluster.Cluster) float64 {
+		return float64(c.Net.HeldDeliveries)
 	},
 }
 

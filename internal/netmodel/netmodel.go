@@ -74,6 +74,11 @@ type Network struct {
 	cfg Config
 	eps []*Endpoint
 
+	// links is the per-ordered-pair fabric (see fabric.go). It stays nil —
+	// and costs one nil check per send — until a link is first mutated, so
+	// the homogeneous topology keeps the uniform model's exact arithmetic.
+	links map[int]*Link
+
 	// freeDeliveries recycles delivery events (and their pre-bound kernel
 	// closures) so that Send allocates nothing per message in steady state.
 	// The network belongs to exactly one single-threaded kernel, so a plain
@@ -88,6 +93,12 @@ type Network struct {
 	TotalBytes int64
 	// TotalMessages counts messages accepted for transmission.
 	TotalMessages int64
+	// HeldDeliveries counts deliveries accepted onto a down link (held for
+	// heal); ReleasedDeliveries and ExpiredDeliveries count how held ones
+	// left the fabric.
+	HeldDeliveries     int64
+	ReleasedDeliveries int64
+	ExpiredDeliveries  int64
 }
 
 // deliveryEvent carries one in-flight message through the kernel queue. The
@@ -239,13 +250,25 @@ func (ep *Endpoint) Send(dst int, bytes int, payload any) {
 	ep.MsgsSent++
 
 	if dst == ep.id {
-		// Loopback: no NIC involvement, a token in-memory latency.
+		// Loopback: no NIC involvement, a token in-memory latency. A node
+		// always reaches itself, whatever the fabric says.
 		ev := n.newDelivery(to, Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
 		k.After(sim.Microsecond, ev.fire)
 		return
 	}
 
 	ser := n.SerializationTime(bytes)
+	lat := n.cfg.Latency
+	lnk := n.link(ep.id, dst)
+	if lnk != nil && lnk.state == LinkDegraded {
+		// Degraded link: scaled serialization (occupancy below uses it too,
+		// so a slow link backs up its sender) plus scaled, jittered latency.
+		ser = sim.Time(float64(ser) * lnk.serFactor)
+		lat = sim.Time(float64(lat) * lnk.latencyFactor)
+		if lnk.jitter > 0 {
+			lat += sim.Time(lnk.rng.Int63n(int64(lnk.jitter) + 1))
+		}
+	}
 
 	// Transmit side: wait for our transmit link (and, on half-duplex media,
 	// for any in-progress receive) before the first bit departs.
@@ -261,10 +284,22 @@ func (ep *Endpoint) Send(dst int, bytes int, payload any) {
 		ep.rxFree = maxTime(ep.rxFree, depart+ser)
 	}
 
+	ev := n.newDelivery(to, Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
+
+	if lnk != nil && lnk.state == LinkDown {
+		// The frames cleared the sender's NIC and died at the severed
+		// switch port: the transmit occupancy above is real, but nothing
+		// reaches the receiver until the link heals. The delivery stays on
+		// the in-flight list so diagnostics still see it.
+		lnk.held = append(lnk.held, ev)
+		n.HeldDeliveries++
+		return
+	}
+
 	// Receive side: the switch forwards frames as they arrive, so a single
 	// stream sees ser + Latency end to end; competing senders queue on the
 	// destination link.
-	arrival := depart + n.cfg.Latency
+	arrival := depart + lat
 	shift := sim.Time(0)
 	if to.rxFree > arrival {
 		shift = to.rxFree - arrival
@@ -275,7 +310,6 @@ func (ep *Endpoint) Send(dst int, bytes int, payload any) {
 		to.txFree = maxTime(to.txFree, deliverAt)
 	}
 
-	ev := n.newDelivery(to, Delivery{Src: ep.id, Bytes: bytes, Payload: payload})
 	k.At(deliverAt, ev.fire)
 }
 

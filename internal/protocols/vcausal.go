@@ -99,10 +99,22 @@ func (v *Vcausal) PreSend(n *daemon.Node, m *vproto.Message) {
 	n.ChargeCPU(cpu)
 }
 
+// checkIDConflict collects a determinant-ID conflict latched by the last
+// reducer merge and reports it as a determinant loss: a re-created ID is
+// the merge-time signature of a peer's regressed recovery, classified here
+// before the aliased antecedence edges can grow into a graph-cycle abort.
+// The report halts the detecting incarnation (it does not return).
+func (v *Vcausal) checkIDConflict(n *daemon.Node) {
+	if existing, incoming, ok := v.reducer.TakeIDConflict(); ok {
+		n.ReportDeterminantIDConflict(existing, incoming)
+	}
+}
+
 // OnDeliver implements daemon.Protocol: merge the piggyback, create and
 // record the reception determinant, ship it to the Event Logger.
 func (v *Vcausal) OnDeliver(n *daemon.Node, m *vproto.Message) {
 	ops := v.reducer.Merge(m.Src, m.Piggyback)
+	v.checkIDConflict(n)
 	pbLen := len(m.Piggyback)
 	// The piggyback is fully absorbed into the reducer: recycle its buffer
 	// for this node's own sends. Messages aliased into checkpoint images
@@ -169,6 +181,7 @@ func (v *Vcausal) Restore(n *daemon.Node, im *vproto.CheckpointImage) {
 // Integrate implements daemon.Protocol.
 func (v *Vcausal) Integrate(n *daemon.Node, ds []event.Determinant, stable []uint64) {
 	v.reducer.Merge(n.Rank(), ds)
+	v.checkIDConflict(n)
 	if stable != nil {
 		v.reducer.Stable(stable)
 	}

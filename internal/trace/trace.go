@@ -30,6 +30,11 @@ type Stats struct {
 	EventsCreated int64 // reception determinants created locally
 	EventsLogged  int64 // determinants shipped to the Event Logger
 
+	// FencedStaleMsgs counts application packets discarded because their
+	// sender incarnation was fenced after a false suspicion (stale traffic
+	// released by a healing partition).
+	FencedStaleMsgs int64
+
 	// Memory occupancy high-water marks.
 	MaxHeldDeterminants int   // reducer volatile memory, in events
 	MaxSenderLogBytes   int64 // sender-based payload log
@@ -57,6 +62,7 @@ func (s *Stats) Add(o *Stats) {
 	s.RecvPiggybackTime += o.RecvPiggybackTime
 	s.EventsCreated += o.EventsCreated
 	s.EventsLogged += o.EventsLogged
+	s.FencedStaleMsgs += o.FencedStaleMsgs
 	if o.MaxHeldDeterminants > s.MaxHeldDeterminants {
 		s.MaxHeldDeterminants = o.MaxHeldDeterminants
 	}

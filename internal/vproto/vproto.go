@@ -38,6 +38,13 @@ type Message struct {
 
 	// Replay marks a message re-sent from a sender log during recovery.
 	Replay bool
+
+	// Inc is the sender's incarnation (recovery epoch) at transmission.
+	// Receivers that have been told a higher incarnation of the sender is
+	// live — the dispatcher announces it when it fences a falsely suspected
+	// process — discard the stale incarnation's packets instead of letting
+	// their piggybacks corrupt the antecedence graph.
+	Inc int
 }
 
 // PacketKind discriminates daemon-to-daemon and daemon-to-server packets.

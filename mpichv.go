@@ -131,11 +131,32 @@ type (
 	// FaultOutage takes the Event Logger or checkpoint server offline
 	// for a window.
 	FaultOutage = faultplan.Outage
+	// FaultPartition severs every link between ranks of different groups
+	// for a window, optionally letting the majority side's failure
+	// detector falsely suspect the unreachable ranks.
+	FaultPartition = faultplan.Partition
+	// FaultDegradeLink runs a directed link at scaled latency/bandwidth
+	// with deterministic per-delivery jitter for a window.
+	FaultDegradeLink = faultplan.DegradeLink
+	// FaultHeal restores links (or the whole fabric) to the healthy
+	// state, releasing deliveries held on downed links.
+	FaultHeal = faultplan.Heal
+	// RestartDelayDist is a per-fault restart-delay distribution
+	// (constant/uniform/exponential) drawn from the plan's own stream.
+	RestartDelayDist = faultplan.DelayDist
 	// FaultEngine is a compiled plan with per-component fault counters.
 	FaultEngine = faultplan.Engine
 	// DispatcherEvent is one dispatcher lifecycle notification
-	// (kill/restart/recovered/finished), see Dispatcher.Observe.
+	// (kill/restart/recovered/finished/suspect/fenced), see
+	// Dispatcher.Observe.
 	DispatcherEvent = failure.Event
+	// FalseSuspicion records one confirmed false suspicion: a live rank
+	// declared dead behind a partition, its stale incarnation fenced when
+	// the replacement spawned.
+	FalseSuspicion = cluster.FalseSuspicion
+	// LinkState classifies one directed link of the fabric (up, degraded,
+	// down); see Network.Link / DownLink / DegradeLink / HealLink.
+	LinkState = netmodel.LinkState
 
 	// RunResult is the structured outcome of one Cluster.Run: the Outcome
 	// classification, the final virtual time, and determinant-loss
@@ -214,11 +235,29 @@ const (
 // Run outcomes. Determinant loss is a first-class result: the paper's
 // known limitation of causal logging without an Event Logger under
 // concurrent failures, quantified by the ext-elcontribution experiment.
+// False suspicion marks a run that completed despite a live rank being
+// declared dead (a partition outlasted the detector) — the ext-partition
+// experiment's regime.
 const (
 	OutcomeCompleted       = cluster.OutcomeCompleted
+	OutcomeFalseSuspicion  = cluster.OutcomeFalseSuspicion
 	OutcomeDeterminantLoss = cluster.OutcomeDeterminantLoss
 	OutcomeDiverged        = cluster.OutcomeDiverged
 	OutcomeDeadlockTimeout = cluster.OutcomeDeadlockTimeout
+)
+
+// Link states of the fabric.
+const (
+	LinkUp       = netmodel.LinkUp
+	LinkDegraded = netmodel.LinkDegraded
+	LinkDown     = netmodel.LinkDown
+)
+
+// Restart-delay distributions.
+const (
+	DistConstant    = faultplan.DistConstant
+	DistUniform     = faultplan.DistUniform
+	DistExponential = faultplan.DistExponential
 )
 
 // Fault-plan victim policies.
