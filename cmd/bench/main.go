@@ -4,14 +4,18 @@
 // Usage:
 //
 //	bench [-short] [-label L] [-out FILE] [-baseline FILE] [-gate PCT]
-//	      [-bench NAME[,NAME...]] [-benchtime D] [-sha REV] [-q]
+//	      [-equal-allocs NAME[,NAME...]] [-bench NAME[,NAME...]]
+//	      [-benchtime D] [-sha REV] [-q]
 //	bench -list
 //
 // Results are serialized to BENCH_<label>.json (override with -out).
 // With -baseline the run is diffed against a committed baseline file; with
 // -gate the command exits non-zero when any curated benchmark regresses by
 // more than PCT percent in ns/op (calibration-normalized across machines)
-// or allocs/op — the CI perf gate.
+// or allocs/op — the CI perf gate. -equal-allocs additionally holds the
+// named benchmarks to exact allocs/op equality with the baseline (zero
+// slack, exit non-zero on any increase) — the proof that the disabled
+// observability layer costs nothing on the hot path.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline file to diff against")
 	gate := flag.Float64("gate", 0, "fail when any benchmark regresses more than this percent vs -baseline (0 = report only)")
 	only := flag.String("bench", "", "comma-separated benchmark names to run (default all)")
+	equalAllocs := flag.String("equal-allocs", "", "comma-separated benchmarks held to exact allocs/op equality vs -baseline (zero slack)")
 	benchtime := flag.Duration("benchtime", 0, "per-benchmark measuring time (default 1s, 100ms with -short)")
 	sha := flag.String("sha", "", "source revision recorded in the results (default: git rev-parse HEAD)")
 	list := flag.Bool("list", false, "list curated benchmarks and exit")
@@ -103,14 +108,25 @@ func main() {
 		fatal("%v", err)
 	}
 	regs := bench.Compare(res, base, *gate)
-	if len(regs) == 0 {
+	var strict []bench.Regression
+	if *equalAllocs != "" {
+		var names []string
+		for _, n := range strings.Split(*equalAllocs, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+		strict = bench.EqualAllocs(res, base, names)
+	}
+	if len(regs) == 0 && len(strict) == 0 {
 		fmt.Printf("no regressions beyond %.0f%% vs %s (sha %.12s)\n", *gate, *baseline, base.SHA)
 		return
 	}
 	for _, r := range regs {
 		fmt.Printf("REGRESSION %s\n", r)
 	}
-	if *gate > 0 {
+	for _, r := range strict {
+		fmt.Printf("ALLOC-EQUALITY %s\n", r)
+	}
+	if *gate > 0 && len(regs) > 0 || len(strict) > 0 {
 		os.Exit(1)
 	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-fig 1|6a|6b|7|8a|8b|9|10[,...]] [-parallel N]
-//	            [-json] [-csv] [-out DIR] [-timeout D] [-q]
+//	            [-json] [-csv] [-out DIR] [-trace DIR] [-timeout D] [-q]
 //	experiments -list
 //
 // -parallel sets the worker-pool width (0 = GOMAXPROCS); every cell of a
@@ -14,7 +14,10 @@
 // -parallel N produce identical tables and results. -json and -csv emit
 // the structured sweep results behind each table: into DIR as one
 // <sweep>.json / <sweep>.csv file per sweep when -out is given, otherwise
-// to stdout (suppressing the tables).
+// to stdout (suppressing the tables). -trace enables the observability
+// layer and writes one JSONL timeline plus one Chrome trace-event file
+// (Perfetto-viewable) per cell into DIR; tracing only observes, so traced
+// results are identical to untraced ones.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit structured sweep results as JSON")
 	csvOut := flag.Bool("csv", false, "emit structured sweep results as CSV")
 	outDir := flag.String("out", "", "directory for -json/-csv files (empty = stdout, suppressing tables)")
+	traceDir := flag.String("trace", "", "directory for per-cell run timelines (JSONL + Chrome trace-event; empty = no tracing)")
 	cellTimeout := flag.Duration("timeout", 0, "wall-clock timeout per sweep cell (0 = none)")
 	quiet := flag.Bool("q", false, "suppress progress reporting on stderr")
 	flag.Parse()
@@ -53,7 +57,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := mpichv.SweepOptions{Parallel: *parallel, CellTimeout: *cellTimeout}
+	opts := mpichv.SweepOptions{Parallel: *parallel, CellTimeout: *cellTimeout, TraceDir: *traceDir}
 	if !*quiet {
 		opts.OnProgress = func(p mpichv.SweepProgress) {
 			if p.Done == p.Total || p.Done%25 == 0 {

@@ -95,6 +95,37 @@ func TestCompareShortMismatchGatesAllocsOnly(t *testing.T) {
 	}
 }
 
+func TestEqualAllocsZeroSlack(t *testing.T) {
+	base := results("base",
+		Result{Name: "steady", NsPerOp: 1000, AllocsPerOp: 4},
+		Result{Name: "crept", NsPerOp: 1000, AllocsPerOp: 4},
+		Result{Name: "improved", NsPerOp: 1000, AllocsPerOp: 4},
+	)
+	cur := results("cur",
+		Result{Name: "steady", NsPerOp: 1000, AllocsPerOp: 4},
+		Result{Name: "crept", NsPerOp: 1000, AllocsPerOp: 5}, // +1: inside Compare's slack, outside this gate
+		Result{Name: "improved", NsPerOp: 1000, AllocsPerOp: 3},
+	)
+	// Compare's slack would wave "crept" through...
+	if regs := Compare(cur, base, 25); len(regs) != 0 {
+		t.Fatalf("Compare flagged within-slack changes: %v", regs)
+	}
+	// ...EqualAllocs must not.
+	regs := EqualAllocs(cur, base, []string{"steady", "crept", "improved"})
+	if len(regs) != 1 || regs[0].Name != "crept" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("EqualAllocs = %v, want exactly the +1 alloc on crept", regs)
+	}
+}
+
+func TestEqualAllocsMissingBenchmarkIsViolation(t *testing.T) {
+	base := results("base", Result{Name: "x", AllocsPerOp: 4})
+	cur := results("cur", Result{Name: "x", AllocsPerOp: 4})
+	regs := EqualAllocs(cur, base, []string{"x", "gone"})
+	if len(regs) != 1 || regs[0].Name != "gone" || regs[0].Metric != "missing" {
+		t.Fatalf("EqualAllocs = %v, want one missing violation for gone", regs)
+	}
+}
+
 func TestCompareIgnoresUnknownBenchmarks(t *testing.T) {
 	base := results("base", Result{Name: "retired", NsPerOp: 10})
 	cur := results("cur", Result{Name: "brand-new", NsPerOp: 99999, AllocsPerOp: 50})

@@ -25,7 +25,40 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: missing from this run or the baseline", r.Name)
+	}
 	return fmt.Sprintf("%s: %s %.6g -> %.6g (+%.1f%%)", r.Name, r.Metric, r.Base, r.Cur, r.Pct)
+}
+
+// EqualAllocs gates the named benchmarks on exact allocs/op equality with
+// zero slack: any increase over the baseline is a violation. This is the
+// disabled-observability contract check — hot-path cells must not gain a
+// single allocation per op when an instrumented build runs untraced.
+// Unlike Compare, a name missing from either run is also a violation
+// (reported with Metric "missing"): a silently dropped benchmark must not
+// pass the gate. Decreases are fine.
+func EqualAllocs(cur, base *Results, names []string) []Regression {
+	var regs []Regression
+	for _, name := range names {
+		c, b := cur.Get(name), base.Get(name)
+		if c == nil || b == nil {
+			regs = append(regs, Regression{Name: name, Metric: "missing"})
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			delta := c.AllocsPerOp - b.AllocsPerOp
+			pct := 100.0 * float64(delta)
+			if b.AllocsPerOp > 0 {
+				pct = float64(delta) / float64(b.AllocsPerOp) * 100
+			}
+			regs = append(regs, Regression{
+				Name: name, Metric: "allocs/op",
+				Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp), Pct: pct,
+			})
+		}
+	}
+	return regs
 }
 
 // Compare reports every benchmark present in both runs whose ns/op

@@ -16,6 +16,7 @@ import (
 	"mpichv/internal/faultplan"
 	"mpichv/internal/mpi"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/obs"
 	"mpichv/internal/protocols"
 	"mpichv/internal/sim"
 	"mpichv/internal/trace"
@@ -85,6 +86,14 @@ type Config struct {
 	// Seed drives all stochastic choices (default 1).
 	Seed int64
 
+	// Trace, when non-nil, enables the observability layer: a timeline
+	// Recorder wired into every emission site (dispatcher lifecycle,
+	// recovery phases, checkpoints, fabric operations, Event Logger marks)
+	// plus the virtual-time gauge sampler. Tracing only observes — it
+	// draws no randomness and mutates no simulation state — so a traced
+	// run produces the same results as an untraced one.
+	Trace *obs.Config
+
 	// RecordDeliveries enables per-step delivery logging on every node
 	// (consistency validation in tests).
 	RecordDeliveries bool
@@ -106,6 +115,10 @@ type Cluster struct {
 	// carries no plan); its counters classify every injected fault.
 	Faults *faultplan.Engine
 
+	// Timeline is the run's event recorder (nil unless Cfg.Trace is set;
+	// every emission site is nil-safe).
+	Timeline *obs.Recorder
+
 	// DetLosses records every determinant loss reported during the run, in
 	// detection order; the kernel stops at the first, so the slice holds at
 	// most one entry per run in practice.
@@ -124,6 +137,14 @@ type Cluster struct {
 	killedAt    []sim.Time
 	recoveredAt []sim.Time
 	suspectedAt []sim.Time
+	// Availability accounting (always on — it costs a few comparisons per
+	// lifecycle event, not per message): downSince[r] is the open down
+	// window's start (-1 = up), downTotal the closed windows' sum,
+	// repairTime/repairs the subset closed by a completed recovery.
+	downSince  []sim.Time
+	downTotal  sim.Time
+	repairTime sim.Time
+	repairs    int
 	// announcedEpoch[r] is the incarnation of rank r the dispatcher has
 	// announced to the peers (0 until a false suspicion forces one); the
 	// witness scan uses it to mirror the receivers' fence on in-flight
@@ -195,12 +216,22 @@ func New(cfg Config) *Cluster {
 	net := netmodel.New(k, cfg.Net, schedEndpoint+1)
 
 	c := &Cluster{Cfg: cfg, K: k, Net: net}
-	c.killedAt = make([]sim.Time, cfg.NP)
-	c.recoveredAt = make([]sim.Time, cfg.NP)
-	c.suspectedAt = make([]sim.Time, cfg.NP)
+	if cfg.Trace != nil {
+		c.Timeline = obs.NewRecorder()
+	}
+	// One backing array for the per-rank lifecycle timestamps keeps the
+	// always-on availability accounting from costing an extra allocation
+	// per deployment (the bench gate holds cells to the pre-observability
+	// allocs/op exactly).
+	times := make([]sim.Time, 4*cfg.NP)
+	c.killedAt = times[:cfg.NP]
+	c.recoveredAt = times[cfg.NP : 2*cfg.NP]
+	c.suspectedAt = times[2*cfg.NP : 3*cfg.NP]
+	c.downSince = times[3*cfg.NP:]
 	c.announcedEpoch = make([]int, cfg.NP)
 	for r := 0; r < cfg.NP; r++ {
 		c.killedAt[r], c.recoveredAt[r], c.suspectedAt[r] = -1, -1, -1
+		c.downSince[r] = -1
 	}
 
 	wantEL := cfg.Stack == StackPessimistic || (cfg.Stack == StackVcausal && cfg.UseEL)
@@ -212,9 +243,17 @@ func New(cfg Config) *Cluster {
 			Service:      cfg.EL,
 		})
 		c.EL = c.ELGroup.Servers()[0]
+		for _, s := range c.ELGroup.Servers() {
+			s.Obs = c.Timeline
+		}
 	}
 	c.CkptServer = checkpoint.NewServer(k, net, ckptEndpoint, cfg.NP, cfg.CkptServer)
 	c.Scheduler = checkpoint.NewScheduler(k, net, schedEndpoint, cfg.NP, cfg.CkptPolicy, cfg.CkptInterval)
+	if c.Timeline != nil {
+		c.Scheduler.ObserveWaves(func(epoch int) {
+			c.Timeline.Record(k.Now(), obs.KindCkptWave, -1, int64(epoch), "")
+		})
+	}
 
 	for r := 0; r < cfg.NP; r++ {
 		proto := protoFor(cfg, event.Rank(r))
@@ -231,6 +270,7 @@ func New(cfg Config) *Cluster {
 		// genuine loss to the cluster instead of panicking.
 		n.LossCheck = c.witnessed
 		n.OnDeterminantLoss = c.recordDetLoss
+		n.Obs = c.Timeline
 		c.Nodes = append(c.Nodes, n)
 		c.Comms = append(c.Comms, mpi.NewComm(n))
 	}
@@ -290,6 +330,7 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 	d.OnAllDone = c.K.Stop
 	c.Dispatcher = d
 	c.trackLifecycle(d)
+	c.startSampler()
 	if c.Cfg.Faults != nil {
 		targets := faultplan.Targets{
 			Kernel:     c.K,
@@ -298,6 +339,7 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 			CkptServer: c.CkptServer,
 			Network:    c.Net,
 			Seed:       c.Cfg.Seed,
+			Recorder:   c.Timeline,
 		}
 		if c.ELGroup != nil {
 			targets.EventLoggers = c.ELGroup.Servers()
@@ -333,4 +375,127 @@ func (c *Cluster) AggregateStats() trace.Stats {
 		total.Add(n.Stats())
 	}
 	return total
+}
+
+// startSampler launches the virtual-time gauge sampler on a traced
+// deployment (no-op otherwise). Called from PrepareRun so the live-rank
+// gauge can read the freshly wired dispatcher.
+func (c *Cluster) startSampler() {
+	if c.Timeline == nil {
+		return
+	}
+	gauges := []obs.Gauge{
+		{Kind: obs.KindGaugeHeldDets, Fn: c.heldDeterminants},
+		{Kind: obs.KindGaugeSenderLogBytes, Fn: c.senderLogBytes},
+		{Kind: obs.KindGaugeLiveRanks, Fn: c.liveRanks},
+	}
+	if c.ELGroup != nil {
+		gauges = append(gauges, obs.Gauge{Kind: obs.KindGaugeELBacklog, Fn: c.elBacklog})
+	}
+	obs.NewSampler(c.K, c.Timeline, c.Cfg.Trace.Interval(), gauges).Start()
+}
+
+func (c *Cluster) heldDeterminants() int64 {
+	var total int64
+	for _, n := range c.Nodes {
+		if h, ok := n.Proto.(interface{ Held() int }); ok {
+			total += int64(h.Held())
+		}
+	}
+	return total
+}
+
+func (c *Cluster) senderLogBytes() int64 {
+	var total int64
+	for _, n := range c.Nodes {
+		total += n.Log.Bytes()
+	}
+	return total
+}
+
+func (c *Cluster) elBacklog() int64 {
+	var max int64
+	for _, s := range c.ELGroup.Servers() {
+		if q := int64(s.QueueLen()); q > max {
+			max = q
+		}
+	}
+	return max
+}
+
+func (c *Cluster) liveRanks() int64 {
+	if c.Dispatcher == nil {
+		return int64(c.Cfg.NP)
+	}
+	var live int64
+	for r := 0; r < c.Cfg.NP; r++ {
+		if c.Dispatcher.Alive(r) {
+			live++
+		}
+	}
+	return live
+}
+
+// --- Availability accounting (fed by trackLifecycle) ---
+
+// openDown opens rank r's down window at t (no-op while already open: an
+// overlapping kill extends the same outage).
+func (c *Cluster) openDown(r int, t sim.Time) {
+	if c.downSince[r] < 0 {
+		c.downSince[r] = t
+	}
+}
+
+// closeDown closes rank r's down window at t. A window closed by a
+// completed recovery is a repair and feeds MTTR; one closed by program
+// completion (a suspected rank finishing behind a partition with its
+// respawn cancelled) is downtime only.
+func (c *Cluster) closeDown(r int, t sim.Time, repair bool) {
+	if c.downSince[r] < 0 {
+		return
+	}
+	d := t - c.downSince[r]
+	c.downTotal += d
+	if repair {
+		c.repairTime += d
+		c.repairs++
+	}
+	c.downSince[r] = -1
+}
+
+// Repairs counts completed fault repairs (down windows closed by a
+// recovery).
+func (c *Cluster) Repairs() int { return c.repairs }
+
+// DowntimeTotal returns the accumulated rank-downtime, counting windows
+// still open at the current virtual time.
+func (c *Cluster) DowntimeTotal() sim.Time {
+	total := c.downTotal
+	now := c.K.Now()
+	for _, s := range c.downSince {
+		if s >= 0 {
+			total += now - s
+		}
+	}
+	return total
+}
+
+// MTTR returns the mean time to repair across completed repairs (0 when
+// no repair completed).
+func (c *Cluster) MTTR() sim.Time {
+	if c.repairs == 0 {
+		return 0
+	}
+	return c.repairTime / sim.Time(c.repairs)
+}
+
+// Availability returns the rank-availability fraction over the run so
+// far: 1 − DowntimeTotal / (NP · now). A zero-length run is fully
+// available.
+func (c *Cluster) Availability() float64 {
+	now := c.K.Now()
+	if now <= 0 {
+		return 1
+	}
+	return 1 - float64(c.DowntimeTotal())/(float64(c.Cfg.NP)*float64(now))
 }

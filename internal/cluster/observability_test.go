@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/obs"
+	"mpichv/internal/sim"
+)
+
+// tracedFaultedConfig is the fixture for the observability tests: a
+// Vcausal/EL deployment whose run survives one mid-flight kill.
+func tracedFaultedConfig(np int) Config {
+	return Config{
+		NP: np, Stack: StackVcausal, Reducer: "vcausal", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 5 * sim.Millisecond,
+		RestartDelay:  20 * sim.Millisecond,
+		AppStateBytes: 64 << 10,
+		Trace:         &obs.Config{},
+	}
+}
+
+// TestTracedRunTimeline checks a traced faulted run reconstructs the
+// fault story: the kill, the restart, the recovery phase windows and the
+// recovery completion all reach the timeline in virtual-time order, with
+// gauge samples interleaved.
+func TestTracedRunTimeline(t *testing.T) {
+	const np = 4
+	c := New(tracedFaultedConfig(np))
+	d := c.PrepareRun(ringPrograms(np, 120, 512))
+	d.ScheduleFault(40*sim.Millisecond, 0)
+	d.Launch()
+	end := c.RunLaunched(30 * sim.Minute).MustCompleted()
+
+	if c.Timeline == nil {
+		t.Fatal("traced cluster has no timeline")
+	}
+	events := c.Timeline.Events()
+	if len(events) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	counts := map[obs.Kind]int{}
+	last := sim.Time(0)
+	for _, ev := range events {
+		if ev.T < last {
+			t.Fatalf("timeline out of order: %v after %v", ev.T, last)
+		}
+		last = ev.T
+		counts[ev.Kind]++
+	}
+	for _, want := range []obs.Kind{
+		obs.KindKill, obs.KindRestart, obs.KindRecovered, obs.KindFinished,
+		obs.KindRecoveryBegin, obs.KindRestoreBegin, obs.KindRestoreEnd,
+		obs.KindRecoveryEnd, obs.KindCkptWave, obs.KindCkptBegin, obs.KindCkptEnd,
+		obs.KindGaugeLiveRanks, obs.KindGaugeSenderLogBytes, obs.KindGaugeHeldDets,
+		obs.KindGaugeELBacklog,
+	} {
+		if counts[want] == 0 {
+			t.Errorf("timeline has no %v events (counts: %v)", want, counts)
+		}
+	}
+	if counts[obs.KindKill] != 1 || counts[obs.KindRecovered] != 1 {
+		t.Fatalf("kill/recovered counts = %d/%d, want 1/1", counts[obs.KindKill], counts[obs.KindRecovered])
+	}
+	if counts[obs.KindFinished] != np {
+		t.Fatalf("finished count = %d, want %d", counts[obs.KindFinished], np)
+	}
+
+	// Both exporters accept the real timeline.
+	if len(obs.JSONL(events)) == 0 {
+		t.Fatal("empty JSONL export")
+	}
+	trace := obs.ChromeTrace(events, np, end)
+	if !bytes.Contains(trace, []byte(`"traceEvents"`)) {
+		t.Fatal("chrome trace missing traceEvents")
+	}
+}
+
+// TestAvailabilityMatchesTimeline pins the double-entry bookkeeping: the
+// cluster's live accounting (the mttr_ns/downtime_ns/availability probes)
+// and obs.ComputeMetrics over the recorded timeline must agree exactly.
+func TestAvailabilityMatchesTimeline(t *testing.T) {
+	const np = 4
+	c := New(tracedFaultedConfig(np))
+	d := c.PrepareRun(ringPrograms(np, 120, 512))
+	d.ScheduleFault(40*sim.Millisecond, 0)
+	d.ScheduleFault(90*sim.Millisecond, 2)
+	d.Launch()
+	res := c.RunLaunched(30 * sim.Minute)
+	res.MustCompleted()
+
+	m := obs.ComputeMetrics(c.Timeline.Events(), np, res.End)
+	if m.Repairs != c.Repairs() {
+		t.Errorf("repairs: timeline %d, cluster %d", m.Repairs, c.Repairs())
+	}
+	if m.MTTR != c.MTTR() {
+		t.Errorf("MTTR: timeline %v, cluster %v", m.MTTR, c.MTTR())
+	}
+	if m.Downtime != c.DowntimeTotal() {
+		t.Errorf("downtime: timeline %v, cluster %v", m.Downtime, c.DowntimeTotal())
+	}
+	if m.Availability != c.Availability() {
+		t.Errorf("availability: timeline %v, cluster %v", m.Availability, c.Availability())
+	}
+	if c.Repairs() != 2 {
+		t.Fatalf("repairs = %d, want 2", c.Repairs())
+	}
+	if c.MTTR() <= 0 || c.DowntimeTotal() <= 0 {
+		t.Fatalf("MTTR %v / downtime %v not positive", c.MTTR(), c.DowntimeTotal())
+	}
+	if a := c.Availability(); a <= 0 || a >= 1 {
+		t.Fatalf("availability = %v, want in (0,1) for a faulted run", a)
+	}
+}
+
+// TestTracingOnlyObserves runs the same faulted deployment traced and
+// untraced and requires identical results: end time, aggregate stats and
+// availability figures. The observability layer must not perturb the run.
+func TestTracingOnlyObserves(t *testing.T) {
+	const np = 4
+	run := func(traced bool) (*Cluster, RunResult) {
+		cfg := tracedFaultedConfig(np)
+		if !traced {
+			cfg.Trace = nil
+		}
+		c := New(cfg)
+		d := c.PrepareRun(ringPrograms(np, 120, 512))
+		d.ScheduleFault(40*sim.Millisecond, 0)
+		d.Launch()
+		return c, c.RunLaunched(30 * sim.Minute)
+	}
+	ct, rt := run(true)
+	cu, ru := run(false)
+	if cu.Timeline != nil {
+		t.Fatal("untraced cluster grew a timeline")
+	}
+	if ct.Timeline.Len() == 0 {
+		t.Fatal("traced cluster recorded nothing")
+	}
+	if rt.End != ru.End || rt.Outcome != ru.Outcome {
+		t.Fatalf("traced run diverged: end %v/%v outcome %v/%v", rt.End, ru.End, rt.Outcome, ru.Outcome)
+	}
+	if st, su := ct.AggregateStats(), cu.AggregateStats(); st != su {
+		t.Fatalf("traced stats diverged:\n%+v\n%+v", st, su)
+	}
+	// Availability accounting is always on, tracing or not.
+	if ct.MTTR() != cu.MTTR() || ct.DowntimeTotal() != cu.DowntimeTotal() || ct.Availability() != cu.Availability() {
+		t.Fatalf("availability diverged: %v/%v vs %v/%v", ct.MTTR(), ct.DowntimeTotal(), cu.MTTR(), cu.DowntimeTotal())
+	}
+}
+
+// TestAvailabilityFaultFree: a run with no faults has full availability
+// and zero repairs.
+func TestAvailabilityFaultFree(t *testing.T) {
+	const np = 4
+	cfg := tracedFaultedConfig(np)
+	cfg.Trace = nil
+	c := New(cfg)
+	c.Run(ringPrograms(np, 50, 512), 10*sim.Minute).MustCompleted()
+	if c.Repairs() != 0 || c.MTTR() != 0 || c.DowntimeTotal() != 0 {
+		t.Fatalf("fault-free run accounted downtime: repairs=%d mttr=%v down=%v",
+			c.Repairs(), c.MTTR(), c.DowntimeTotal())
+	}
+	if a := c.Availability(); a != 1 {
+		t.Fatalf("fault-free availability = %v, want 1", a)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mpichv/internal/event"
 	"mpichv/internal/failure"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/obs"
 	"mpichv/internal/sim"
 )
 
@@ -117,6 +118,7 @@ func (c *Cluster) recordDetLoss(dl daemon.DeterminantLoss) {
 	dl.At = c.K.Now()
 	dl.DeadPeers = c.concurrentDead(dl.Victim)
 	c.DetLosses = append(c.DetLosses, dl)
+	c.Timeline.Record(dl.At, obs.KindDetLoss, int(dl.Victim), int64(dl.Lost), "")
 	c.K.Stop()
 }
 
@@ -183,14 +185,26 @@ func (c *Cluster) witnessed(creator event.Rank, from, to uint64) []bool {
 // healed partition releases it.
 func (c *Cluster) trackLifecycle(d *failure.Dispatcher) {
 	d.Observe(func(ev failure.Event) {
+		c.Timeline.Record(ev.Time, lifecycleKind(ev.Kind), ev.Rank, 0, "")
 		switch ev.Kind {
 		case failure.EvKill, failure.EvSuspect:
 			c.killedAt[ev.Rank] = ev.Time
+			c.openDown(ev.Rank, ev.Time)
 			if ev.Kind == failure.EvSuspect {
 				c.suspectedAt[ev.Rank] = ev.Time
 			}
+		case failure.EvRestart:
+			// A coordinated-rollback peer restarts without a prior kill
+			// event of its own; its down window opens here.
+			c.openDown(ev.Rank, ev.Time)
 		case failure.EvRecovered:
 			c.recoveredAt[ev.Rank] = ev.Time
+			c.closeDown(ev.Rank, ev.Time, true)
+		case failure.EvFinished:
+			// Covers a suspected rank completing behind a partition: the
+			// respawn is cancelled, so no EvRecovered ever closes the
+			// window — downtime, but not a repair.
+			c.closeDown(ev.Rank, ev.Time, false)
 		case failure.EvFenced:
 			next := c.Nodes[ev.Rank].NextIncarnation()
 			c.announcedEpoch[ev.Rank] = next
@@ -208,4 +222,23 @@ func (c *Cluster) trackLifecycle(d *failure.Dispatcher) {
 			})
 		}
 	})
+}
+
+// lifecycleKind maps dispatcher lifecycle events to timeline kinds.
+func lifecycleKind(k failure.EventKind) obs.Kind {
+	switch k {
+	case failure.EvKill:
+		return obs.KindKill
+	case failure.EvSuspect:
+		return obs.KindSuspect
+	case failure.EvFenced:
+		return obs.KindFenced
+	case failure.EvRestart:
+		return obs.KindRestart
+	case failure.EvRecovered:
+		return obs.KindRecovered
+	case failure.EvFinished:
+		return obs.KindFinished
+	}
+	panic(fmt.Sprintf("cluster: unknown lifecycle event %v", k))
 }

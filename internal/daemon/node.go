@@ -20,6 +20,7 @@ import (
 
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/obs"
 	"mpichv/internal/sim"
 	"mpichv/internal/trace"
 	"mpichv/internal/vproto"
@@ -205,6 +206,12 @@ type Node struct {
 	// detected during PrepareRecovery instead of the legacy panic; the
 	// reporting incarnation halts afterwards (see reportDeterminantLoss).
 	OnDeterminantLoss func(DeterminantLoss)
+
+	// Obs, when non-nil, receives recovery-phase and checkpoint timeline
+	// events. Emission sites sit only on cold paths (recovery boundaries,
+	// checkpoint transactions); the per-message paths carry none, and a nil
+	// recorder costs one branch per site.
+	Obs *obs.Recorder
 
 	// Coordinated-protocol channel recording (Chandy-Lamport); managed by
 	// the coordinated stack through the hook calls but stored here so the
@@ -514,6 +521,7 @@ func (n *Node) CreateDeterminant(m *vproto.Message) (event.Determinant, bool) {
 		if !n.Replaying() && n.recoveryStart > 0 {
 			n.stats.RecoveryTotal += n.Now() - n.recoveryStart
 			n.recoveryStart = 0
+			n.Obs.Record(n.Now(), obs.KindRecoveryEnd, int(n.rank), 0, "")
 		}
 		return d, false
 	}
@@ -772,6 +780,7 @@ func (n *Node) BuildImage() *vproto.CheckpointImage {
 // checkpoint server, blocking until the transaction is acknowledged. This
 // is the uncoordinated (message-logging) checkpoint procedure.
 func (n *Node) TakeCheckpoint() {
+	n.Obs.Record(n.Now(), obs.KindCkptBegin, int(n.rank), 0, "")
 	im := n.BuildImage()
 
 	n.awaitCkptAck = true
@@ -786,6 +795,7 @@ func (n *Node) TakeCheckpoint() {
 	}
 	n.stats.Checkpoints++
 	n.stats.CheckpointBytes += im.Bytes()
+	n.Obs.Record(n.Now(), obs.KindCkptEnd, int(n.rank), im.Bytes(), "")
 
 	// Sender-based log GC: peers can discard payloads this checkpoint now
 	// covers. The floors must come from the image itself — messages
@@ -816,6 +826,7 @@ func (n *Node) PrepareRecovery() {
 	n.recoveryStart = n.Now()
 	n.stats.Recoveries++
 	n.recoveryEpoch++
+	n.Obs.Record(n.recoveryStart, obs.KindRecoveryBegin, int(n.rank), 0, "")
 
 	// The dead incarnation's watermarks, read before the volatile reset:
 	// how far its event clock ran, and the highest clock a peer witnessed
@@ -849,6 +860,7 @@ func (n *Node) PrepareRecovery() {
 	// 1. Fetch the latest checkpoint image. Application packets arriving
 	// while the duplicate-suppression floors are unknown are held aside
 	// and re-accepted once the image is restored.
+	n.Obs.Record(n.Now(), obs.KindRestoreBegin, int(n.rank), 0, "")
 	n.recovering = true
 	n.imageArrived = false
 	fetch := vproto.GetPacket()
@@ -869,6 +881,7 @@ func (n *Node) PrepareRecovery() {
 		n.Proto.Restore(n, im)
 	}
 	n.flushHeldApp()
+	n.Obs.Record(n.Now(), obs.KindRestoreEnd, int(n.rank), 0, "")
 
 	// 1b. A fenced predecessor (false suspicion) may have sent into a
 	// partitioned link: those packets are discarded by the peers' fence,
@@ -888,6 +901,7 @@ func (n *Node) PrepareRecovery() {
 
 	// 2. Collect the determinants to replay (timed: the paper's Figure 10).
 	collectStart := n.Now()
+	n.Obs.Record(collectStart, obs.KindCollectBegin, int(n.rank), 0, "")
 	n.collectedDets = n.collectedDets[:0]
 	n.collectedStab = nil
 	if n.ELEndpoint >= 0 {
@@ -916,6 +930,7 @@ func (n *Node) PrepareRecovery() {
 		n.WaitPacket()
 	}
 	n.stats.RecoveryEventCollection += n.Now() - collectStart
+	n.Obs.Record(n.Now(), obs.KindCollectEnd, int(n.rank), 0, "")
 
 	// 3. With an Event Logger the determinants came from it; payload
 	// replay still comes from the senders' logs.
@@ -1026,9 +1041,12 @@ func (n *Node) PrepareRecovery() {
 	n.Proto.Integrate(n, n.collectedDets, n.collectedStab)
 	n.collectedDets = n.collectedDets[:0]
 	n.replayIdx = 0
-	if !n.Replaying() && n.recoveryStart > 0 {
+	if n.Replaying() {
+		n.Obs.Record(n.Now(), obs.KindReplayBegin, int(n.rank), int64(len(n.replayDets)), "")
+	} else if n.recoveryStart > 0 {
 		n.stats.RecoveryTotal += n.Now() - n.recoveryStart
 		n.recoveryStart = 0
+		n.Obs.Record(n.Now(), obs.KindRecoveryEnd, int(n.rank), 0, "")
 	}
 }
 
@@ -1130,6 +1148,7 @@ func (n *Node) PrepareRollback(crashed bool) {
 		n.stats.Recoveries++
 		n.recoveryStart = n.Now()
 	}
+	n.Obs.Record(n.Now(), obs.KindRecoveryBegin, int(n.rank), 0, "")
 	n.recoveryEpoch++
 	n.drainForRecovery()
 	n.recvQ = nil
@@ -1151,6 +1170,7 @@ func (n *Node) PrepareRollback(crashed bool) {
 	}
 	n.Log = NewSenderLog()
 
+	n.Obs.Record(n.Now(), obs.KindRestoreBegin, int(n.rank), 0, "")
 	n.recovering = true
 	n.imageArrived = false
 	fetch := vproto.GetPacket()
@@ -1170,8 +1190,10 @@ func (n *Node) PrepareRollback(crashed bool) {
 		n.Proto.Restore(n, &vproto.CheckpointImage{Rank: n.rank, LastSeqSeen: make([]uint64, n.np)})
 	}
 	n.flushHeldApp()
+	n.Obs.Record(n.Now(), obs.KindRestoreEnd, int(n.rank), 0, "")
 	if crashed && n.recoveryStart > 0 {
 		n.stats.RecoveryTotal += n.Now() - n.recoveryStart
 		n.recoveryStart = 0
 	}
+	n.Obs.Record(n.Now(), obs.KindRecoveryEnd, int(n.rank), 0, "")
 }

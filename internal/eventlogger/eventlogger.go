@@ -16,6 +16,7 @@ import (
 
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/obs"
 	"mpichv/internal/sim"
 	"mpichv/internal/vproto"
 )
@@ -73,6 +74,12 @@ type Server struct {
 	// before it (see Suspend).
 	suspendedUntil sim.Time
 
+	// Obs, when non-nil, receives backlog high-water marks and recovery
+	// query marks. The emission sites are off the gated hot path (only a
+	// new high-water mark and the per-recovery query emit), and a nil
+	// recorder costs one branch.
+	Obs *obs.Recorder
+
 	// group and serverIdx are set when the server belongs to a distributed
 	// Event Logger group (nil/0 for the classic single logger).
 	group     *Group
@@ -111,6 +118,7 @@ func (s *Server) run(p *sim.Proc) {
 	for {
 		if qlen := s.ep.Inbox.Len(); qlen > s.MaxQueueLen {
 			s.MaxQueueLen = qlen
+			s.Obs.Record(s.k.Now(), obs.KindELBacklog, -1, int64(qlen), "")
 		}
 		d := s.ep.Inbox.Get(p)
 		// Re-check after waking: a Suspend landing mid-sleep extends the
@@ -139,6 +147,7 @@ func (s *Server) run(p *sim.Proc) {
 		case vproto.PktEventQuery:
 			p.Sleep(s.cfg.PerPacket)
 			s.QueriesServed++
+			s.Obs.Record(s.k.Now(), obs.KindELQuery, int(pkt.Creator), 0, "")
 			// Recovery responses are retained by the recovering node
 			// (determinants and stable vector both), so they must carry
 			// freshly allocated slices, never packet scratch.
@@ -183,6 +192,10 @@ func (s *Server) stableCopy() []uint64 {
 
 // Stable returns the current stable vector (tests and probes).
 func (s *Server) Stable() []uint64 { return s.stableCopy() }
+
+// QueueLen returns the current request-queue length (the gauge the
+// observability sampler reads; MaxQueueLen is its high-water mark).
+func (s *Server) QueueLen() int { return s.ep.Inbox.Len() }
 
 // StoredFor returns the number of stored determinants of one creator.
 func (s *Server) StoredFor(c event.Rank) int { return len(s.store[c]) }

@@ -323,6 +323,8 @@ func extPartitionSpec(cfg extPartitionConfig, name string, variants []harness.Va
 			harness.ProbeFalseSuspicions, harness.ProbeFencedStale,
 			harness.ProbeHeldDeliveries,
 			harness.ProbeKills, harness.ProbePlanKills,
+			harness.ProbeMTTR, harness.ProbeDowntime,
+			harness.ProbeAvailability,
 		},
 		Tune: func(c *harness.Cell) {
 			c.Config.CkptPolicy = fig01PolicyFor(c.Stack.Stack)

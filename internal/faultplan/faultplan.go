@@ -25,6 +25,7 @@ import (
 	"mpichv/internal/eventlogger"
 	"mpichv/internal/failure"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/obs"
 	"mpichv/internal/sim"
 )
 
@@ -486,6 +487,10 @@ type Targets struct {
 	Network *netmodel.Network
 	// Seed is the fallback RNG seed when the plan's own Seed is 0.
 	Seed int64
+	// Recorder, when non-nil, receives fabric-operation and outage
+	// timeline events (Arg = plan component index, Note = component key).
+	// All emission sites are in cold compiled closures.
+	Recorder *obs.Recorder
 }
 
 // Engine is a plan compiled onto a deployment: it owns all mutable
@@ -625,6 +630,7 @@ func (e *Engine) compilePartition(i int) {
 		e.t.Network.Partition(pt.Groups)
 		e.PartitionsApplied++
 		e.partitionDownAt[i] = e.t.Kernel.Now()
+		e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindPartitionCut, -1, int64(i), pt.Key)
 	})
 	if pt.SuspectAfter > 0 {
 		e.t.Kernel.At(pt.At+pt.SuspectAfter, func() {
@@ -665,6 +671,7 @@ func (e *Engine) healPartition(i int) {
 		e.BlackoutSpan += e.t.Kernel.Now() - e.partitionDownAt[i]
 	}
 	e.partitionDownAt[i] = -1
+	e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindPartitionHeal, -1, int64(i), pt.Key)
 }
 
 // partitionActive reports whether any cross-group link of the partition
@@ -729,6 +736,7 @@ func (e *Engine) compileDegrade(i int) {
 			genRev = e.t.Network.DegradeLink(dg.To, dg.From, dg.LatencyFactor, dg.BandwidthFactor, dg.Jitter, jseed)
 			e.LinksDegraded++
 		}
+		e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindDegrade, -1, int64(i), dg.Key)
 	})
 	if dg.Duration > 0 {
 		// The expiry ends this window and nothing else: it never un-severs
@@ -743,6 +751,7 @@ func (e *Engine) compileDegrade(i int) {
 			if dg.Both {
 				e.t.Network.ClearDegrade(dg.To, dg.From, genRev)
 			}
+			e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindDegradeClear, -1, int64(i), dg.Key)
 		})
 	}
 }
@@ -764,6 +773,7 @@ func (e *Engine) applyHeal(h Heal) {
 		}
 		e.t.Network.HealAll()
 		e.HealsApplied++
+		e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindFabricHeal, -1, 0, "")
 		return
 	}
 	e.t.Network.HealLink(h.From, h.To)
@@ -771,6 +781,7 @@ func (e *Engine) applyHeal(h Heal) {
 		e.t.Network.HealLink(h.To, h.From)
 	}
 	e.HealsApplied++
+	e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindFabricHeal, -1, 0, "")
 }
 
 // subRNG derives an independent deterministic stream per plan component,
@@ -956,6 +967,7 @@ func (e *Engine) applyOutage(o Outage) {
 		e.t.CkptServer.Suspend(o.Duration)
 	}
 	e.OutagesApplied++
+	e.t.Recorder.Record(e.t.Kernel.Now(), obs.KindOutage, -1, int64(o.Duration), string(o.Target))
 }
 
 // InjectedKills sums every fault the engine injected.

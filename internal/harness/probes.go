@@ -48,6 +48,17 @@ const (
 	// ProbeHeldDeliveries counts deliveries held on downed links over the
 	// run (released plus expired plus still held at the end).
 	ProbeHeldDeliveries = "held_deliveries"
+	// ProbeMTTR is the mean time to repair in virtual nanoseconds: the
+	// mean length of the down windows closed by a completed recovery
+	// (0 when no repair completed).
+	ProbeMTTR = "mttr_ns"
+	// ProbeDowntime is the total rank-downtime in virtual nanoseconds —
+	// the sum over ranks of every down window (kill/suspect/rollback to
+	// recovery), counting windows still open when the run stopped.
+	ProbeDowntime = "downtime_ns"
+	// ProbeAvailability is the rank-availability fraction:
+	// 1 − downtime_ns / (NP · end).
+	ProbeAvailability = "availability"
 )
 
 // probeFuncs maps probe names to their collectors.
@@ -103,6 +114,15 @@ var probeFuncs = map[string]func(*cluster.Cluster) float64{
 	},
 	ProbeHeldDeliveries: func(c *cluster.Cluster) float64 {
 		return float64(c.Net.HeldDeliveries)
+	},
+	ProbeMTTR: func(c *cluster.Cluster) float64 {
+		return float64(c.MTTR())
+	},
+	ProbeDowntime: func(c *cluster.Cluster) float64 {
+		return float64(c.DowntimeTotal())
+	},
+	ProbeAvailability: func(c *cluster.Cluster) float64 {
+		return c.Availability()
 	},
 }
 

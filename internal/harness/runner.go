@@ -2,11 +2,14 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"mpichv/internal/cluster"
+	"mpichv/internal/obs"
 	"mpichv/internal/sim"
 )
 
@@ -31,6 +34,14 @@ type Options struct {
 	// OnError, when non-nil, receives every cell failure as it happens
 	// (also recorded in the cell's result). Calls are serialized.
 	OnError func(CellError)
+
+	// TraceDir, when non-empty, enables the observability layer on every
+	// cell and writes two trace files per cell into the directory: a JSONL
+	// timeline (<cell>.jsonl) and a Chrome trace-event file
+	// (<cell>.trace.json, Perfetto-viewable). Tracing only observes, so
+	// traced results are identical to untraced ones, and timelines are
+	// byte-identical across worker counts.
+	TraceDir string
 }
 
 // Progress reports one completed cell to the progress callback.
@@ -60,6 +71,12 @@ func Run(spec *SweepSpec, opts Options) *Results {
 	cells := spec.Cells()
 	res := &Results{Name: spec.Name, Cells: make([]CellResult, len(cells))}
 
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+			panic(fmt.Sprintf("harness: cannot create trace dir: %v", err))
+		}
+	}
+
 	workers := opts.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -84,7 +101,7 @@ func Run(spec *SweepSpec, opts Options) *Results {
 			for idx := range jobs {
 				cell := &cells[idx]
 				start := time.Now()
-				cr := executeWithTimeout(cell, opts.CellTimeout)
+				cr := executeWithTimeout(cell, opts)
 				wall := time.Since(start)
 				res.Cells[idx] = cr
 
@@ -119,13 +136,14 @@ const watchdogGrace = 2 * time.Second
 
 // executeWithTimeout runs one cell, optionally bounded by a wall-clock
 // deadline.
-func executeWithTimeout(cell *Cell, timeout time.Duration) CellResult {
+func executeWithTimeout(cell *Cell, opts Options) CellResult {
+	timeout := opts.CellTimeout
 	if timeout <= 0 {
-		return execute(cell, time.Time{}, 0)
+		return execute(cell, opts, time.Time{})
 	}
 	deadline := time.Now().Add(timeout)
 	ch := make(chan CellResult, 1)
-	go func() { ch <- execute(cell, deadline, timeout) }()
+	go func() { ch <- execute(cell, opts, deadline) }()
 	select {
 	case cr := <-ch:
 		return cr
@@ -140,7 +158,8 @@ func executeWithTimeout(cell *Cell, timeout time.Duration) CellResult {
 // cap, or the wall-clock deadline) and collects stats and probes.
 // Simulation panics — deadlocks, configuration errors — are captured as
 // the cell's error rather than tearing down the whole sweep.
-func execute(cell *Cell, deadline time.Time, timeout time.Duration) (cr CellResult) {
+func execute(cell *Cell, opts Options, deadline time.Time) (cr CellResult) {
+	timeout := opts.CellTimeout
 	cr = newCellResult(cell)
 	defer func() {
 		if r := recover(); r != nil {
@@ -152,6 +171,9 @@ func execute(cell *Cell, deadline time.Time, timeout time.Duration) (cr CellResu
 	cfg := cell.Config
 	if in.AppStateBytes > 0 {
 		cfg.AppStateBytes = in.AppStateBytes
+	}
+	if opts.TraceDir != "" && cfg.Trace == nil {
+		cfg.Trace = &obs.Config{}
 	}
 	c := cluster.New(cfg)
 	d := c.PrepareRun(in.Programs)
@@ -211,5 +233,42 @@ func execute(cell *Cell, deadline time.Time, timeout time.Duration) (cr CellResu
 			cr.Probes[name] = v
 		}
 	}
+	if opts.TraceDir != "" {
+		if err := writeTraces(opts.TraceDir, cell.ID, c, end); err != nil && cr.Err == "" {
+			cr.Err = err.Error()
+		}
+	}
 	return cr
+}
+
+// writeTraces renders one cell's timeline as a JSONL file and a Chrome
+// trace-event file under dir. Cell IDs contain separators and spaces, so
+// they are sanitized into filenames; both renderings are deterministic,
+// keeping traced sweeps byte-comparable across worker counts.
+func writeTraces(dir, cellID string, c *cluster.Cluster, end sim.Time) error {
+	events := c.Timeline.Events()
+	base := filepath.Join(dir, sanitizeFilename(cellID))
+	if err := os.WriteFile(base+".jsonl", obs.JSONL(events), 0o644); err != nil {
+		return fmt.Errorf("harness: writing timeline: %w", err)
+	}
+	trace := obs.ChromeTrace(events, c.Cfg.NP, end)
+	if err := os.WriteFile(base+".trace.json", trace, 0o644); err != nil {
+		return fmt.Errorf("harness: writing chrome trace: %w", err)
+	}
+	return nil
+}
+
+// sanitizeFilename maps a cell ID onto a safe filename: every byte
+// outside [A-Za-z0-9._-] becomes '_'.
+func sanitizeFilename(id string) string {
+	out := []byte(id)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '.', b == '_', b == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }

@@ -1,0 +1,72 @@
+package obs
+
+import "mpichv/internal/sim"
+
+// Metrics are the availability figures derived from a run timeline.
+type Metrics struct {
+	// Repairs counts completed fault repairs: down windows closed by a
+	// recovery (a window closed by program completion or by the end of the
+	// run is downtime but not a repair).
+	Repairs int
+	// MTTR is the mean time to repair — repair downtime over Repairs
+	// (0 when no repair completed).
+	MTTR sim.Time
+	// Downtime is the total rank-downtime: the sum over ranks of every
+	// down window, including windows still open at the end of the run.
+	Downtime sim.Time
+	// Availability is the rank-availability fraction:
+	// 1 − Downtime / (np · end). A zero-length run is fully available.
+	Availability float64
+}
+
+// ComputeMetrics derives availability metrics from a timeline over np
+// ranks that ended at virtual time end. The accounting rules match the
+// cluster's live accounting exactly (cluster/outcome.go): a down window
+// opens at the first kill, suspect or restart event of an up rank — a
+// restart without a prior kill is how a coordinated-rollback peer goes
+// down — closes as a repair at the rank's recovery, and closes as plain
+// downtime at program completion or at end.
+func ComputeMetrics(events []Event, np int, end sim.Time) Metrics {
+	downSince := make([]sim.Time, np)
+	for r := range downSince {
+		downSince[r] = -1
+	}
+	var m Metrics
+	var repairTime sim.Time
+	closeWindow := func(rank int, t sim.Time, repair bool) {
+		if rank < 0 || rank >= np || downSince[rank] < 0 {
+			return
+		}
+		d := t - downSince[rank]
+		m.Downtime += d
+		if repair {
+			repairTime += d
+			m.Repairs++
+		}
+		downSince[rank] = -1
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindKill, KindSuspect, KindRestart:
+			if ev.Rank >= 0 && ev.Rank < np && downSince[ev.Rank] < 0 {
+				downSince[ev.Rank] = ev.T
+			}
+		case KindRecovered:
+			closeWindow(ev.Rank, ev.T, true)
+		case KindFinished:
+			closeWindow(ev.Rank, ev.T, false)
+		}
+	}
+	for r := range downSince {
+		closeWindow(r, end, false)
+	}
+	if m.Repairs > 0 {
+		m.MTTR = repairTime / sim.Time(m.Repairs)
+	}
+	if end > 0 && np > 0 {
+		m.Availability = 1 - float64(m.Downtime)/(float64(np)*float64(end))
+	} else {
+		m.Availability = 1
+	}
+	return m
+}

@@ -1,0 +1,55 @@
+package obs
+
+import "mpichv/internal/sim"
+
+// Gauge is one sampled scalar: Fn reads the current value (it must be a
+// pure observation — no mutation, no randomness — so traced and untraced
+// runs stay result-identical) and Kind tags its timeline events.
+type Gauge struct {
+	Kind Kind
+	Fn   func() int64
+}
+
+// Sampler records a set of gauges into a Recorder on a fixed virtual-time
+// interval. It rides the simulation kernel as a self-rescheduling event;
+// a tick that finds no other pending event does not reschedule, so a
+// deployment that deadlocks (or completes by draining its queue) is not
+// kept artificially alive until the virtual deadline by its own
+// instrumentation.
+type Sampler struct {
+	k        *sim.Kernel
+	rec      *Recorder
+	interval sim.Time
+	gauges   []Gauge
+}
+
+// NewSampler builds a sampler; interval ≤ 0 selects DefaultSampleInterval.
+func NewSampler(k *sim.Kernel, rec *Recorder, interval sim.Time, gauges []Gauge) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{k: k, rec: rec, interval: interval, gauges: gauges}
+}
+
+// Start schedules the first sample at the current virtual time (so every
+// timeline opens with a baseline row) and then every interval until the
+// kernel stops or the simulation has no other future.
+func (s *Sampler) Start() {
+	if s.rec == nil || len(s.gauges) == 0 {
+		return
+	}
+	s.k.At(s.k.Now(), s.tick)
+}
+
+func (s *Sampler) tick() {
+	// The tick's own event has been popped: an empty queue here means no
+	// other activity can ever fire, so sampling is over.
+	if s.k.Stopped() || s.k.QueueLen() == 0 {
+		return
+	}
+	now := s.k.Now()
+	for _, g := range s.gauges {
+		s.rec.Record(now, g.Kind, -1, g.Fn(), "")
+	}
+	s.k.After(s.interval, s.tick)
+}

@@ -49,7 +49,21 @@ type Stats struct {
 	CheckpointBytes int64
 }
 
-// Add accumulates o into s (used to aggregate per-process stats).
+// Add accumulates o into s (used to aggregate per-process stats into a
+// deployment total). Aggregation semantics are per field class:
+//
+//   - Traffic, event and checkpoint counters (AppBytesSent … EventsLogged,
+//     FencedStaleMsgs, Checkpoints, CheckpointBytes) are sums: the
+//     deployment total is the sum over processes.
+//   - Memory high-water marks (MaxHeldDeterminants, MaxSenderLogBytes)
+//     take the max: the aggregate answers "how much memory did the
+//     worst-off process need", not a meaningless sum of per-process peaks.
+//   - Piggyback-management and recovery timers (SendPiggybackTime,
+//     RecvPiggybackTime, RecoveryEventCollection, RecoveryTotal) are
+//     sums of virtual durations. Consumers wanting a per-recovery mean
+//     (the paper's Figure 10 quantity) divide by Recoveries after
+//     aggregation — summing first keeps Add associative, so aggregating
+//     aggregates remains well-defined.
 func (s *Stats) Add(o *Stats) {
 	s.AppBytesSent += o.AppBytesSent
 	s.AppMsgsSent += o.AppMsgsSent

@@ -80,6 +80,7 @@ import (
 	"mpichv/internal/harness"
 	"mpichv/internal/mpi"
 	"mpichv/internal/netmodel"
+	"mpichv/internal/obs"
 	"mpichv/internal/sim"
 	"mpichv/internal/trace"
 	"mpichv/internal/workload"
@@ -181,7 +182,8 @@ type (
 	// SweepCell is one fully resolved grid point.
 	SweepCell = harness.Cell
 	// SweepOptions tune sweep execution (worker-pool size, cell timeout,
-	// progress and error callbacks).
+	// progress and error callbacks, and an optional trace directory that
+	// enables the observability layer and writes per-cell timelines).
 	SweepOptions = harness.Options
 	// SweepProgress reports one completed cell to the progress callback.
 	SweepProgress = harness.Progress
@@ -195,6 +197,20 @@ type (
 	// ExperimentReport is a paper artifact: the rendered table plus the
 	// raw sweep results behind it.
 	ExperimentReport = experiment.Report
+
+	// TraceConfig enables the observability layer on a deployment (set
+	// Config.Trace): a deterministic virtual-time run timeline plus
+	// periodic gauge sampling. Tracing only observes — a traced run's
+	// results are identical to an untraced one's.
+	TraceConfig = obs.Config
+	// TimelineRecorder accumulates a run's typed timeline events (see
+	// Cluster.Timeline); exportable as JSONL or Chrome trace-event JSON.
+	TimelineRecorder = obs.Recorder
+	// TimelineEvent is one typed, virtually-timestamped timeline event.
+	TimelineEvent = obs.Event
+	// AvailabilityMetrics are the MTTR/downtime/availability figures
+	// derived from a timeline (see ComputeAvailability).
+	AvailabilityMetrics = obs.Metrics
 
 	// BenchResult is one curated performance-suite measurement.
 	BenchResult = bench.Result
@@ -300,6 +316,23 @@ func LoadBenchBaseline(path string) (*BenchResults, error) { return bench.Load(p
 // two suite runs — the CI perf gate's logic.
 func BenchCompare(cur, base *BenchResults, thresholdPct float64) []BenchRegression {
 	return bench.Compare(cur, base, thresholdPct)
+}
+
+// TimelineJSONL renders timeline events as one JSON object per line.
+func TimelineJSONL(events []TimelineEvent) []byte { return obs.JSONL(events) }
+
+// TimelineChromeTrace renders timeline events as Chrome trace-event JSON
+// (load in Perfetto or chrome://tracing); np and end frame the rank
+// tracks and close still-open windows.
+func TimelineChromeTrace(events []TimelineEvent, np int, end Time) []byte {
+	return obs.ChromeTrace(events, np, end)
+}
+
+// ComputeAvailability derives per-run repair/downtime/availability
+// figures from a timeline; it matches the cluster's live accounting
+// (the mttr_ns / downtime_ns / availability probes) exactly.
+func ComputeAvailability(events []TimelineEvent, np int, end Time) AvailabilityMetrics {
+	return obs.ComputeMetrics(events, np, end)
 }
 
 // NewCluster builds a deployment per cfg (see cluster.New).
