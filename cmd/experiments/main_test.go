@@ -60,6 +60,26 @@ func TestResolveFigures(t *testing.T) {
 		}
 	})
 
+	t.Run("service experiments registered", func(t *testing.T) {
+		names, err := resolveFigures("ext-service,ext-service-smoke", reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"ext-service", "ext-service-smoke"}
+		if !reflect.DeepEqual(names, want) {
+			t.Errorf("resolve = %v, want %v", names, want)
+		}
+		found := false
+		for _, n := range mpichv.ExperimentNames() {
+			if n == "ext-service" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("ext-service missing from ExperimentNames")
+		}
+	})
+
 	t.Run("unknown figure", func(t *testing.T) {
 		if _, err := resolveFigures("99", reports); err == nil {
 			t.Error("unknown figure should error")

@@ -79,6 +79,14 @@ type Config struct {
 	// Faults.Seed (falling back to Seed).
 	Faults *faultplan.Plan
 
+	// Horizon, when positive, is an always-on run's planned end: the
+	// kernel stops at this virtual time even if programs are still
+	// pending, and the run classifies as OutcomeHorizon rather than
+	// OutcomeDiverged. Service workloads use it as their evaluation
+	// window's hard edge; batch runs that finish earlier stop at
+	// completion as usual. Zero keeps the legacy run-to-completion mode.
+	Horizon sim.Time
+
 	// AppStateBytes is the modeled checkpoint image size of the
 	// application state (default 8 MB).
 	AppStateBytes int64
@@ -331,6 +339,14 @@ func (c *Cluster) PrepareRun(programs []failure.Program) *failure.Dispatcher {
 	c.Dispatcher = d
 	c.trackLifecycle(d)
 	c.startSampler()
+	if c.Cfg.Horizon > 0 {
+		// The horizon is a scheduled stop, not a RunUntil cap: a pending
+		// kernel event guarantees virtual time reaches the horizon even
+		// when every remaining process is parked (a drained queue would
+		// otherwise end the run early at an arbitrary instant), which is
+		// what lets Outcome classify the cut as planned.
+		c.K.At(c.Cfg.Horizon, c.K.Stop)
+	}
 	if c.Cfg.Faults != nil {
 		targets := faultplan.Targets{
 			Kernel:     c.K,

@@ -33,6 +33,12 @@ const (
 	// set because every copy of some determinants died with crashed peers;
 	// the run stopped at the first detection (see Cluster.DetLosses).
 	OutcomeDeterminantLoss Outcome = "determinant-loss"
+	// OutcomeHorizon: the deployment ran to its configured virtual-time
+	// horizon (Config.Horizon) with programs still pending — the planned
+	// end of an always-on run, not a failure. Service experiments read
+	// their SLO probes (latency quantiles, goodput, drops) off exactly
+	// this state.
+	OutcomeHorizon Outcome = "horizon"
 	// OutcomeDiverged: the run was still pending at its virtual-time cap.
 	OutcomeDiverged Outcome = "diverged"
 	// OutcomeDeadlockTimeout: a wall-clock watchdog stopped the kernel
@@ -98,6 +104,9 @@ func (c *Cluster) Outcome() Outcome {
 	}
 	if len(c.DetLosses) > 0 {
 		return OutcomeDeterminantLoss
+	}
+	if c.Cfg.Horizon > 0 && c.K.Now() >= c.Cfg.Horizon {
+		return OutcomeHorizon
 	}
 	return OutcomeDiverged
 }

@@ -32,6 +32,8 @@ func Index() map[string]func() *Report {
 		"ext-elcontribution-smoke": ExtELContributionSmokeReport,
 		"ext-partition":            ExtPartitionReport,
 		"ext-partition-smoke":      ExtPartitionSmokeReport,
+		"ext-service":              ExtServiceReport,
+		"ext-service-smoke":        ExtServiceSmokeReport,
 	}
 }
 
@@ -40,5 +42,5 @@ func Index() map[string]func() *Report {
 func Names() []string {
 	return []string{"fig1", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9", "fig10",
 		"ext-el", "ext-elsweep", "ext-sched", "ext-duplex", "ext-faultstorm",
-		"ext-elcontribution", "ext-partition"}
+		"ext-elcontribution", "ext-partition", "ext-service"}
 }

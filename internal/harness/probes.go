@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"mpichv/internal/cluster"
+	"mpichv/internal/sim"
+	"mpichv/internal/workload"
 )
 
 // Named probes collectable per cell via SweepSpec.Probes. Probes read
@@ -59,6 +61,21 @@ const (
 	// ProbeAvailability is the rank-availability fraction:
 	// 1 − downtime_ns / (NP · end).
 	ProbeAvailability = "availability"
+	// ProbeP50Latency is the median per-request virtual latency in
+	// nanoseconds (scheduled issue to response consumption), from the
+	// service workload's fixed-bucket histogram. Requires a service
+	// workload (workload.BuildService).
+	ProbeP50Latency = "p50_latency_ns"
+	// ProbeP99Latency is the 99th-percentile per-request virtual latency
+	// in nanoseconds. Requires a service workload.
+	ProbeP99Latency = "p99_latency_ns"
+	// ProbeGoodput is completed requests per virtual second over the
+	// run's final time. Requires a service workload.
+	ProbeGoodput = "goodput_rps"
+	// ProbeDroppedRequests is the number of scheduled requests whose
+	// response was never consumed before the run stopped — zero on any
+	// run that drained its arrival window. Requires a service workload.
+	ProbeDroppedRequests = "dropped_requests"
 )
 
 // probeFuncs maps probe names to their collectors.
@@ -126,11 +143,44 @@ var probeFuncs = map[string]func(*cluster.Cluster) float64{
 	},
 }
 
-// probe evaluates one named probe against a finished cluster.
-func probe(name string, c *cluster.Cluster) (float64, error) {
-	fn, ok := probeFuncs[name]
-	if !ok {
-		return 0, fmt.Errorf("harness: unknown probe %q", name)
+// serviceProbeFuncs maps the SLO probe names to their collectors. Unlike
+// the cluster probes they read the workload instance's request ledger, so
+// they are only collectable on service cells (workload.BuildService).
+var serviceProbeFuncs = map[string]func(*workload.ServiceStats, sim.Time) float64{
+	ProbeP50Latency: func(s *workload.ServiceStats, end sim.Time) float64 {
+		return float64(s.Quantile(0.50))
+	},
+	ProbeP99Latency: func(s *workload.ServiceStats, end sim.Time) float64 {
+		return float64(s.Quantile(0.99))
+	},
+	ProbeGoodput: func(s *workload.ServiceStats, end sim.Time) float64 {
+		return s.GoodputRPS(end)
+	},
+	ProbeDroppedRequests: func(s *workload.ServiceStats, end sim.Time) float64 {
+		return float64(s.Dropped())
+	},
+}
+
+// probeContext is everything a probe may read after a cell's run: the
+// finished cluster, the workload instance the cell executed (carrying the
+// service request ledger when the workload is a service), and the final
+// virtual time.
+type probeContext struct {
+	C   *cluster.Cluster
+	In  *workload.Instance
+	End sim.Time
+}
+
+// probe evaluates one named probe against a finished cell.
+func probe(name string, ctx probeContext) (float64, error) {
+	if fn, ok := probeFuncs[name]; ok {
+		return fn(ctx.C), nil
 	}
-	return fn(c), nil
+	if fn, ok := serviceProbeFuncs[name]; ok {
+		if ctx.In == nil || ctx.In.Service == nil {
+			return 0, fmt.Errorf("harness: probe %q requires a service workload (workload.BuildService)", name)
+		}
+		return fn(ctx.In.Service, ctx.End), nil
+	}
+	return 0, fmt.Errorf("harness: unknown probe %q", name)
 }

@@ -61,6 +61,7 @@ type CellError struct {
 	Err   error
 }
 
+// Error renders the failure as "<sweep>: cell <id>: <cause>".
 func (e CellError) Error() string {
 	return fmt.Sprintf("%s: cell %q: %v", e.Sweep, e.Cell.ID, e.Err)
 }
@@ -224,8 +225,9 @@ func execute(cell *Cell, opts Options, deadline time.Time) (cr CellResult) {
 	}
 	if len(cell.Probes) > 0 {
 		cr.Probes = make(map[string]float64, len(cell.Probes))
+		pctx := probeContext{C: c, In: in, End: end}
 		for _, name := range cell.Probes {
-			v, err := probe(name, c)
+			v, err := probe(name, pctx)
 			if err != nil {
 				cr.Err = err.Error()
 				continue

@@ -143,6 +143,12 @@ type Variant struct {
 
 	// MaxVirtual caps this variant's virtual run time (0 = spec default).
 	MaxVirtual sim.Time
+
+	// Horizon, when positive, plans the run's end at this virtual time
+	// (cluster.Config.Horizon): an always-on cell still pending there is
+	// classified OutcomeHorizon instead of OutcomeDiverged. The cell's
+	// virtual cap is raised to the horizon when it would cut earlier.
+	Horizon sim.Time
 }
 
 func (v Variant) key() string {
@@ -242,6 +248,7 @@ func (s *SweepSpec) Cells() []Cell {
 					EventLoggers: v.EventLoggers,
 					ELSync:       v.ELSync,
 					EL:           v.EL,
+					Horizon:      v.Horizon,
 				}
 				if v.Net != nil {
 					cfg.Net = *v.Net
@@ -259,6 +266,11 @@ func (s *SweepSpec) Cells() []Cell {
 				}
 				if maxV == 0 {
 					maxV = DefaultMaxVirtual
+				}
+				if v.Horizon > 0 && maxV < v.Horizon {
+					// The planned horizon stop must be reachable; a tighter
+					// cap would misclassify the cut as divergence.
+					maxV = v.Horizon
 				}
 				cell := Cell{
 					Index:      len(cells),

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+
+	"mpichv/internal/checkpoint"
+	"mpichv/internal/cluster"
+	"mpichv/internal/sim"
+)
+
+// serviceTestConfig is a small-but-busy service: 4 ranks, ~100 req/s each
+// over a 200 ms window (≈80 requests), 500 µs of service compute.
+func serviceTestConfig() ServiceConfig {
+	return ServiceConfig{
+		NP:          4,
+		Seed:        42,
+		RatePerRank: 100,
+		Window:      200 * sim.Millisecond,
+		ServiceTime: 500 * sim.Microsecond,
+		// Keep checkpoint transactions cheap (a 1 MB default image costs
+		// ~80 ms on the wire, which would dominate a 200 ms window).
+		AppStateBytes: 64 << 10,
+	}
+}
+
+func TestServiceScheduleDeterministic(t *testing.T) {
+	a := scheduleRequests(serviceTestConfig())
+	b := scheduleRequests(serviceTestConfig())
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must yield a different stream.
+	cfg := serviceTestConfig()
+	cfg.Seed = 43
+	c := scheduleRequests(cfg)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical schedules")
+	}
+	for i, r := range a {
+		if r.client == r.server {
+			t.Fatalf("request %d is self-addressed", i)
+		}
+		if i > 0 && r.at < a[i-1].at {
+			t.Fatalf("requests not in arrival order at %d", i)
+		}
+		if r.gk != i {
+			t.Fatalf("gk %d != position %d", r.gk, i)
+		}
+	}
+}
+
+// TestServiceFaultFreeDrains runs a clean deployment: every request must
+// complete before the horizon, with zero drops and sane latency quantiles.
+func TestServiceFaultFreeDrains(t *testing.T) {
+	in := BuildService(serviceTestConfig())
+	c := cluster.New(cluster.Config{
+		NP: 4, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
+		Horizon: sim.Second, Seed: 7,
+	})
+	res := c.Run(in.Programs, 2*sim.Second)
+	if res.Outcome != cluster.OutcomeCompleted {
+		t.Fatalf("outcome = %v, want completed", res.Outcome)
+	}
+	s := in.Service
+	if s.Scheduled() == 0 {
+		t.Fatal("no requests scheduled")
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("fault-free run dropped %d of %d requests", s.Dropped(), s.Scheduled())
+	}
+	if s.Completed() != s.Scheduled() {
+		t.Fatalf("completed %d != scheduled %d", s.Completed(), s.Scheduled())
+	}
+	p50, p99 := s.Quantile(0.5), s.Quantile(0.99)
+	if p50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+	if g := s.GoodputRPS(res.End); g <= 0 {
+		t.Fatalf("goodput = %v, want > 0", g)
+	}
+}
+
+// TestServiceSurvivesKill kills a serving rank mid-window on a causal
+// stack with checkpointing: the run must still drain every request (the
+// protocol replays the lost state), and the latency tail must record the
+// recovery stall.
+func TestServiceSurvivesKill(t *testing.T) {
+	cleanIn := BuildService(serviceTestConfig())
+	clean := cluster.New(cluster.Config{
+		NP: 4, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 20 * sim.Millisecond,
+		Horizon: 5 * sim.Second, Seed: 7,
+	})
+	cleanRes := clean.Run(cleanIn.Programs, 10*sim.Second)
+	if cleanRes.Outcome != cluster.OutcomeCompleted {
+		t.Fatalf("clean outcome = %v", cleanRes.Outcome)
+	}
+
+	in := BuildService(serviceTestConfig())
+	c := cluster.New(cluster.Config{
+		NP: 4, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
+		CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 20 * sim.Millisecond,
+		RestartDelay: 5 * sim.Millisecond,
+		Horizon:      5 * sim.Second, Seed: 7,
+	})
+	d := c.PrepareRun(in.Programs)
+	d.ScheduleFault(80*sim.Millisecond, 1)
+	d.Launch()
+	res := c.RunLaunched(10 * sim.Second)
+	if res.Outcome != cluster.OutcomeCompleted {
+		t.Fatalf("outcome = %v, want completed (horizon leaves ample slack)", res.Outcome)
+	}
+	s := in.Service
+	if s.Dropped() != 0 {
+		t.Fatalf("killed run dropped %d requests despite completing", s.Dropped())
+	}
+	if s.Completed() != s.Scheduled() {
+		t.Fatalf("completed %d != scheduled %d", s.Completed(), s.Scheduled())
+	}
+	// The restart delay stalls in-flight requests; the faulted tail must
+	// dominate the clean one.
+	if faulted, cleanTail := s.Hist().Max(), cleanIn.Service.Hist().Max(); faulted < cleanTail {
+		t.Errorf("faulted max latency %v < clean max %v", faulted, cleanTail)
+	}
+	if c.Availability() >= 1 {
+		t.Errorf("availability = %v, want < 1 after a kill", c.Availability())
+	}
+	if c.MTTR() <= 0 {
+		t.Errorf("MTTR = %v, want > 0 after a completed recovery", c.MTTR())
+	}
+}
+
+// TestServiceHorizonCut pins the horizon termination mode: a horizon well
+// inside the arrival window stops the kernel at exactly the horizon with
+// outcome "horizon" and a positive drop count.
+func TestServiceHorizonCut(t *testing.T) {
+	in := BuildService(serviceTestConfig())
+	c := cluster.New(cluster.Config{
+		NP: 4, Stack: cluster.StackVcausal, Reducer: "vcausal", UseEL: true,
+		Horizon: 100 * sim.Millisecond, Seed: 7,
+	})
+	res := c.Run(in.Programs, sim.Second)
+	if res.Outcome != cluster.OutcomeHorizon {
+		t.Fatalf("outcome = %v, want horizon", res.Outcome)
+	}
+	if res.End != 100*sim.Millisecond {
+		t.Fatalf("end = %v, want exactly the 100ms horizon", res.End)
+	}
+	s := in.Service
+	if s.Dropped() <= 0 {
+		t.Fatalf("dropped = %d, want > 0 when the horizon cuts the window", s.Dropped())
+	}
+	if s.Completed() == 0 {
+		t.Fatal("no requests completed before the horizon")
+	}
+}
+
+// TestServiceRunDeterministic pins byte-level reproducibility: two
+// identical faulted runs must agree on every collected figure.
+func TestServiceRunDeterministic(t *testing.T) {
+	run := func() (int, int, sim.Time, sim.Time, sim.Time) {
+		in := BuildService(serviceTestConfig())
+		c := cluster.New(cluster.Config{
+			NP: 4, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true,
+			CkptPolicy: checkpoint.PolicyRoundRobin, CkptInterval: 20 * sim.Millisecond,
+			RestartDelay: 5 * sim.Millisecond,
+			Horizon:      5 * sim.Second, Seed: 11,
+		})
+		d := c.PrepareRun(in.Programs)
+		d.ScheduleFault(60*sim.Millisecond, 2)
+		d.Launch()
+		res := c.RunLaunched(10 * sim.Second)
+		s := in.Service
+		return s.Completed(), s.Dropped(), s.Quantile(0.5), s.Quantile(0.99), res.End
+	}
+	c1, d1, p50a, p99a, e1 := run()
+	c2, d2, p50b, p99b, e2 := run()
+	if c1 != c2 || d1 != d2 || p50a != p50b || p99a != p99b || e1 != e2 {
+		t.Fatalf("runs diverged: (%d,%d,%v,%v,%v) vs (%d,%d,%v,%v,%v)",
+			c1, d1, p50a, p99a, e1, c2, d2, p50b, p99b, e2)
+	}
+}

@@ -51,6 +51,10 @@ type Instance struct {
 	// AppStateBytes is the per-process application state (checkpoint image
 	// contribution).
 	AppStateBytes int64
+	// Service is the request/response latency collector of a service
+	// build (BuildService); nil for batch benchmarks. It holds one run's
+	// state, which is why instances are built fresh per cell.
+	Service *ServiceStats
 }
 
 // Mflops converts a completion time into the NAS figure of merit.

@@ -212,6 +212,20 @@ type (
 	// derived from a timeline (see ComputeAvailability).
 	AvailabilityMetrics = obs.Metrics
 
+	// ServiceConfig sizes an always-on request/response service workload:
+	// per-rank open-loop Poisson arrival streams driving request messages
+	// across ranks, with per-request virtual latency measured from each
+	// request's scheduled issue time (see BuildService).
+	ServiceConfig = workload.ServiceConfig
+	// ServiceStats is a service build's request ledger: scheduled,
+	// completed and dropped request counts, the fixed-bucket latency
+	// histogram, and goodput (see Benchmark.Service on service builds).
+	ServiceStats = workload.ServiceStats
+	// LatencyHist is a fixed-bucket (power-of-two nanosecond) virtual
+	// latency histogram with deterministic quantiles; a nil histogram is
+	// the disabled layer (Observe is a branch, zero allocations).
+	LatencyHist = obs.LatencyHist
+
 	// BenchResult is one curated performance-suite measurement.
 	BenchResult = bench.Result
 	// BenchResults is a performance-suite run with provenance, the unit
@@ -253,10 +267,13 @@ const (
 // concurrent failures, quantified by the ext-elcontribution experiment.
 // False suspicion marks a run that completed despite a live rank being
 // declared dead (a partition outlasted the detector) — the ext-partition
-// experiment's regime.
+// experiment's regime. Horizon marks an always-on run cut at its planned
+// virtual-time end (Config.Horizon) with work still in flight — the
+// ext-service experiment's normal termination for faulted cells.
 const (
 	OutcomeCompleted       = cluster.OutcomeCompleted
 	OutcomeFalseSuspicion  = cluster.OutcomeFalseSuspicion
+	OutcomeHorizon         = cluster.OutcomeHorizon
 	OutcomeDeterminantLoss = cluster.OutcomeDeterminantLoss
 	OutcomeDiverged        = cluster.OutcomeDiverged
 	OutcomeDeadlockTimeout = cluster.OutcomeDeadlockTimeout
@@ -346,6 +363,13 @@ func BuildBenchmark(spec BenchmarkSpec) *Benchmark { return workload.Build(spec)
 
 // BuildPingPong constructs the NetPIPE ping-pong benchmark.
 func BuildPingPong(bytes, reps int) *Benchmark { return workload.BuildPingPong(bytes, reps) }
+
+// BuildService constructs an always-on open-loop request/response service
+// workload. The returned instance's Service field collects per-request
+// virtual latency, goodput and drop counts; pair it with Config.Horizon
+// for a planned virtual-time end instead of kernel completion. Each
+// instance holds one run's statistics — build a fresh instance per run.
+func BuildService(cfg ServiceConfig) *Benchmark { return workload.BuildService(cfg) }
 
 // FastEthernet returns the paper's 100 Mbit/s switched network model.
 func FastEthernet() NetworkConfig { return netmodel.FastEthernet() }
