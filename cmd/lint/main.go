@@ -1,0 +1,70 @@
+// Command lint runs the repository's invariant lint suite
+// (internal/analysis): detmap (no map-iteration order in simulation-core
+// results), walltime (virtual time and seeded randomness only), noalloc
+// (//mpichv:noalloc functions contain no allocating constructs) and
+// pooldiscipline (packet-pool lifecycle safety).
+//
+// Usage:
+//
+//	lint [-report FILE] [./...]
+//
+// The only supported pattern is the module itself (./...), matching the
+// multichecker convention; the suite always analyzes every package of the
+// module rooted at the working directory (or -root). Findings go to
+// stderr, one file:line: [check] message per line, and to -report when
+// set (the CI job uploads that file as an artifact on failure). The exit
+// status is 1 when findings exist, 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpichv/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze (directory containing go.mod)")
+	report := flag.String("report", "", "also write findings to this file (CI artifact)")
+	flag.Usage = usage
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "lint: unsupported pattern %q (the suite always analyzes the whole module; use -root to point at it)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	findings, err := analysis.Run(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "%s\n", f)
+	}
+	fmt.Fprint(os.Stderr, sb.String())
+	fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lint: writing report: %v\n", err)
+		}
+	}
+	os.Exit(1)
+}
+
+// usage prints the flag help plus a one-line description of each check.
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: lint [-root DIR] [-report FILE] [./...]\n\nchecks:\n")
+	for _, c := range analysis.Checks() {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", c.Name(), c.Desc())
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress one finding with `%s <check> <reason>` on or above the line;\nthe reason is mandatory.\n\nflags:\n", analysis.AllowPrefix)
+	flag.PrintDefaults()
+}

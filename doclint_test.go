@@ -11,11 +11,13 @@ import (
 )
 
 // TestExportedIdentifiersDocumented is the missing-doc lint: every exported
-// identifier in the facade and in the operator-facing internal packages
-// (harness, obs, faultplan) must carry a doc comment. It runs as part of
-// the ordinary test suite, so CI enforces it without extra tooling.
+// identifier in the facade, in the operator-facing internal packages
+// (harness, obs, faultplan), and in the lint suite itself (analysis,
+// cmd/lint — the linter must meet its own documentation bar) must carry a
+// doc comment. It runs as part of the ordinary test suite, so CI enforces
+// it without extra tooling.
 func TestExportedIdentifiersDocumented(t *testing.T) {
-	for _, dir := range []string{".", "internal/harness", "internal/obs", "internal/faultplan"} {
+	for _, dir := range []string{".", "internal/harness", "internal/obs", "internal/faultplan", "internal/analysis", "cmd/lint"} {
 		dir := dir
 		t.Run(dir, func(t *testing.T) {
 			for _, miss := range undocumentedExports(t, dir) {

@@ -1,0 +1,233 @@
+// Package analysis is the repository's invariant lint suite: custom
+// static analyzers, built only on the standard library's go/ast, go/parser
+// and go/types (no external analysis framework), that turn the codebase's
+// three load-bearing contracts into machine-checked invariants:
+//
+//   - determinism: byte-identical results across -parallel widths means no
+//     map-iteration order may reach an output (check "detmap") and no wall
+//     clock or global RNG may reach simulation state (check "walltime");
+//   - zero-allocation hot paths: functions annotated //mpichv:noalloc must
+//     contain no allocating constructs (check "noalloc"), giving the
+//     runtime equal-allocs bench gate a static twin that names the exact
+//     line when a regression appears;
+//   - pool discipline: vproto's packet pool must never see a use after
+//     PutPacket, a double put, or a leaked GetPacket (check
+//     "pooldiscipline").
+//
+// Findings can be suppressed site-by-site with a
+//
+//	//lint:allow <check> <reason>
+//
+// directive on the offending line or on the line directly above it. The
+// reason string is mandatory: a directive without one is itself a finding,
+// so every suppression in the tree carries a written justification.
+//
+// The suite is exposed three ways: the cmd/lint multichecker binary, the
+// repository-root lint_test.go (so `go test ./...` enforces it), and a CI
+// job that uploads the findings report on failure.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit: a check name, a position, and a message
+// explaining which invariant the site violates.
+type Finding struct {
+	Check string
+	Pos   token.Position
+	Msg   string
+}
+
+// String renders the finding in the conventional file:line: [check] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Check is one analyzer. Run reports raw findings for a loaded package;
+// directive suppression is applied afterwards by ApplyDirectives, so
+// checks never need to know about //lint:allow.
+type Check interface {
+	// Name is the check's short identifier, as used in allow directives.
+	Name() string
+	// Desc is a one-line description for the multichecker's usage text.
+	Desc() string
+	// Run analyzes one package and returns its raw findings.
+	Run(pkg *Package) []Finding
+}
+
+// Checks returns the full suite in stable order.
+func Checks() []Check {
+	return []Check{DetMap{}, WallTime{}, NoAlloc{}, PoolDiscipline{}}
+}
+
+// SimCorePackages is the set of simulation-core package base names whose
+// results must be a deterministic function of the seed. The determinism
+// checks (detmap, walltime) apply only inside these packages; the
+// allocation and pool checks apply everywhere.
+var SimCorePackages = map[string]bool{
+	"causal":      true,
+	"vproto":      true,
+	"daemon":      true,
+	"cluster":     true,
+	"sim":         true,
+	"netmodel":    true,
+	"eventlogger": true,
+	"workload":    true,
+	"faultplan":   true,
+	"obs":         true,
+}
+
+// simCore reports whether pkg is one of the simulation-core packages.
+func simCore(pkg *Package) bool {
+	return SimCorePackages[path.Base(pkg.Path)]
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed
+// //lint:allow directives (missing reason, unknown check name) are
+// reported. It cannot itself be suppressed.
+const DirectiveCheck = "lint-directive"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	check  string
+	reason string
+	line   int // line the directive comment sits on
+	pos    token.Position
+}
+
+// AllowPrefix is the comment prefix of a suppression directive.
+const AllowPrefix = "//lint:allow"
+
+// parseDirectives extracts every //lint:allow directive of one file,
+// reporting malformed ones (missing reason, unknown check) as findings.
+func parseDirectives(pkg *Package, file *ast.File, known map[string]bool) ([]directive, []Finding) {
+	var ds []directive
+	var bad []Finding
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowPrefix) {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, AllowPrefix))
+			check, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if check == "" {
+				bad = append(bad, Finding{DirectiveCheck, pos, "allow directive names no check"})
+				continue
+			}
+			if !known[check] {
+				bad = append(bad, Finding{DirectiveCheck, pos, fmt.Sprintf("allow directive for unknown check %q", check)})
+				continue
+			}
+			if reason == "" {
+				bad = append(bad, Finding{DirectiveCheck, pos,
+					fmt.Sprintf("allow directive for %q carries no reason: every suppression must say why the invariant holds here", check)})
+				continue
+			}
+			ds = append(ds, directive{check: check, reason: reason, line: pos.Line, pos: pos})
+		}
+	}
+	return ds, bad
+}
+
+// ApplyDirectives drops findings covered by a well-formed //lint:allow
+// directive (same line, or the line directly above the finding) and adds
+// findings for malformed directives. It is exported so the golden-file
+// tests exercise suppression exactly as the driver applies it.
+func ApplyDirectives(pkg *Package, findings []Finding) []Finding {
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name()] = true
+	}
+	// directives[filename][line][check]
+	covered := make(map[string]map[int]map[string]bool)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ds, bad := parseDirectives(pkg, file, known)
+		out = append(out, bad...)
+		for _, d := range ds {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			if covered[name] == nil {
+				covered[name] = make(map[int]map[string]bool)
+			}
+			// A directive covers its own line (trailing comment) and the
+			// next line (comment-above idiom).
+			for _, ln := range []int{d.line, d.line + 1} {
+				if covered[name][ln] == nil {
+					covered[name][ln] = make(map[string]bool)
+				}
+				covered[name][ln][d.check] = true
+			}
+		}
+	}
+	for _, f := range findings {
+		if lines := covered[f.Pos.Filename]; lines != nil && lines[f.Pos.Line][f.Check] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// RunPackage runs every applicable check on one loaded package and
+// applies directive suppression. The determinism checks run only on
+// simulation-core packages; allocation and pool checks run everywhere.
+func RunPackage(pkg *Package) []Finding {
+	var raw []Finding
+	for _, c := range Checks() {
+		switch c.(type) {
+		case DetMap, WallTime:
+			if !simCore(pkg) {
+				continue
+			}
+		}
+		raw = append(raw, c.Run(pkg)...)
+	}
+	return ApplyDirectives(pkg, raw)
+}
+
+// Run loads every package found under root (recursively, skipping
+// testdata and hidden directories), runs the suite, and returns the
+// surviving findings sorted by position.
+func Run(root string) ([]Finding, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", dir, err)
+		}
+		findings = append(findings, RunPackage(pkg)...)
+	}
+	Sort(findings)
+	return findings, nil
+}
+
+// Sort orders findings by filename, line, then check name, so reports are
+// deterministic regardless of package load order.
+func Sort(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+}

@@ -1,0 +1,160 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpichv/internal/analysis"
+)
+
+// update regenerates the golden files from the current analyzer output:
+//
+//	go test ./internal/analysis -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureLoader caches one loader for all fixture packages (the stdlib
+// source importer is the expensive part; share it across subtests).
+var fixtureLoader = sync.OnceValues(func() (*analysis.Loader, error) {
+	return analysis.NewLoader(filepath.Join("testdata", "src"))
+})
+
+// loadFixture loads one fixture package from testdata/src.
+func loadFixture(t *testing.T, name string) *analysis.Package {
+	t.Helper()
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// render formats findings with basenames so goldens are independent of
+// the checkout path.
+func render(findings []analysis.Finding) string {
+	analysis.Sort(findings)
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "%s:%d: [%s] %s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check, f.Msg)
+	}
+	return sb.String()
+}
+
+// checkGolden compares rendered findings against testdata/<name>.golden,
+// rewriting the golden under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGolden runs each check over its bad-source fixture and compares the
+// surviving findings (after //lint:allow suppression) with the committed
+// golden file. The fixtures cover: each violation shape, each accepted
+// idiom, suppression by a well-formed directive, and a reasonless
+// directive being itself a finding.
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking loads the stdlib from source; skipped in -short")
+	}
+	cases := []struct {
+		fixture string
+		check   analysis.Check
+	}{
+		{"detmapfix", analysis.DetMap{}},
+		{"walltimefix", analysis.WallTime{}},
+		{"noallocfix", analysis.NoAlloc{}},
+		{"poolfix", analysis.PoolDiscipline{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			findings := analysis.ApplyDirectives(pkg, tc.check.Run(pkg))
+			checkGolden(t, tc.fixture, render(findings))
+		})
+	}
+}
+
+// TestDriverScopesDeterminismChecks proves the suite driver applies
+// detmap/walltime only to simulation-core packages: identical code is
+// flagged in fixture package "sim" and accepted in fixture package
+// "tools".
+func TestDriverScopesDeterminismChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking loads the stdlib from source; skipped in -short")
+	}
+	simFindings := analysis.RunPackage(loadFixture(t, "sim"))
+	if got := len(simFindings); got != 2 {
+		t.Fatalf("sim fixture: want 2 findings (walltime, detmap), got %d: %v", got, simFindings)
+	}
+	seen := map[string]bool{}
+	for _, f := range simFindings {
+		seen[f.Check] = true
+	}
+	if !seen["walltime"] || !seen["detmap"] {
+		t.Fatalf("sim fixture: want one walltime and one detmap finding, got %v", simFindings)
+	}
+	if toolsFindings := analysis.RunPackage(loadFixture(t, "tools")); len(toolsFindings) != 0 {
+		t.Fatalf("tools fixture: determinism checks must not apply outside simulation-core packages, got %v", toolsFindings)
+	}
+}
+
+// TestDirectiveValidation covers the directive grammar: a reasonless or
+// unknown-check directive is a finding under the non-suppressible
+// lint-directive pseudo-check.
+func TestDirectiveValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking loads the stdlib from source; skipped in -short")
+	}
+	pkg := loadFixture(t, "detmapfix")
+	findings := analysis.ApplyDirectives(pkg, nil)
+	var directiveFindings []analysis.Finding
+	for _, f := range findings {
+		if f.Check == analysis.DirectiveCheck {
+			directiveFindings = append(directiveFindings, f)
+		}
+	}
+	if len(directiveFindings) != 1 {
+		t.Fatalf("want exactly 1 malformed-directive finding in detmapfix, got %v", directiveFindings)
+	}
+	if !strings.Contains(directiveFindings[0].Msg, "no reason") {
+		t.Fatalf("want a missing-reason message, got %q", directiveFindings[0].Msg)
+	}
+}
+
+// TestCheckMetadata pins the check names the directives reference.
+func TestCheckMetadata(t *testing.T) {
+	want := []string{"detmap", "walltime", "noalloc", "pooldiscipline"}
+	checks := analysis.Checks()
+	if len(checks) != len(want) {
+		t.Fatalf("want %d checks, got %d", len(want), len(checks))
+	}
+	for i, c := range checks {
+		if c.Name() != want[i] {
+			t.Errorf("check %d: want name %q, got %q", i, want[i], c.Name())
+		}
+		if c.Desc() == "" {
+			t.Errorf("check %s: empty description", c.Name())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package poolfix is a lint-test fixture for the pooldiscipline check.
+// It declares a local pool with the canonical GetPacket/PutPacket names
+// (the check matches the protocol by name) and exercises each lifecycle
+// violation and each accepted pattern.
+package poolfix
+
+// Packet is the pooled shell.
+type Packet struct {
+	Kind int
+}
+
+// GetPacket models the pool acquisition.
+func GetPacket() *Packet { return &Packet{} }
+
+// PutPacket models the pool release.
+func PutPacket(p *Packet) {}
+
+// send models an ownership transfer (the wire path).
+func send(p *Packet) {}
+
+// BadUseAfterPut touches the packet after releasing it: finding expected.
+func BadUseAfterPut() int {
+	p := GetPacket()
+	PutPacket(p)
+	return p.Kind
+}
+
+// BadDoublePut releases the same packet twice: finding expected.
+func BadDoublePut() {
+	p := GetPacket()
+	PutPacket(p)
+	PutPacket(p)
+}
+
+// BadLeak acquires a packet that is neither released nor handed off:
+// finding expected at the acquisition.
+func BadLeak() {
+	p := GetPacket()
+	p.Kind = 1
+}
+
+// GoodSend transfers ownership to the wire: no finding.
+func GoodSend() {
+	p := GetPacket()
+	p.Kind = 2
+	send(p)
+}
+
+// GoodDeferPut releases at function exit; later uses are fine.
+func GoodDeferPut() int {
+	p := GetPacket()
+	defer PutPacket(p)
+	p.Kind = 3
+	return p.Kind
+}
+
+// GoodReacquire reassigns between puts: no finding.
+func GoodReacquire() {
+	p := GetPacket()
+	PutPacket(p)
+	p = GetPacket()
+	PutPacket(p)
+}
+
+// GoodBranches puts on one arm and uses on the other: no finding (the
+// analysis is straight-line per block).
+func GoodBranches(drop bool) int {
+	p := GetPacket()
+	if drop {
+		PutPacket(p)
+		return 0
+	}
+	defer PutPacket(p)
+	return p.Kind
+}
+
+// AllowedPeek reads a field after release — normally a finding, but safe
+// in this single-threaded fixture, so the site documents why.
+func AllowedPeek() int {
+	p := GetPacket()
+	PutPacket(p)
+	//lint:allow pooldiscipline single-threaded fixture; nothing touches the pool between the put and this read
+	return p.Kind
+}

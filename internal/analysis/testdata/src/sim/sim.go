@@ -1,0 +1,18 @@
+// Package sim is a lint-test fixture whose base name marks it
+// simulation-core: the determinism checks (detmap, walltime) apply here.
+package sim
+
+import "time"
+
+// Stamp reads the wall clock inside a simulation-core package: finding
+// expected when run through the suite driver.
+func Stamp() time.Time { return time.Now() }
+
+// Spread leaks map order: finding expected.
+func Spread(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package tools is a lint-test fixture outside the simulation core: the
+// same constructs that are findings in package sim are accepted here
+// (only noalloc and pooldiscipline apply everywhere).
+package tools
+
+import "time"
+
+// Stamp reads the wall clock outside the simulation core: no finding.
+func Stamp() time.Time { return time.Now() }
+
+// Spread leaks map order outside the simulation core: no finding.
+func Spread(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -30,6 +30,8 @@ func NewLogOn(self event.Rank, np int) *LogOn {
 func (l *LogOn) Name() string { return "logon" }
 
 // AddLocal implements Reducer.
+//
+//mpichv:noalloc
 func (l *LogOn) AddLocal(d event.Determinant) int64 {
 	_, ops := l.g.insert(d)
 	return ops
@@ -39,6 +41,8 @@ func (l *LogOn) AddLocal(d event.Determinant) int64 {
 // the partial order guarantees a vertex's antecedents are inserted before
 // it, which is precisely what the emission-side reordering buys (the
 // paper: LogOn "accelerates the unserializing").
+//
+//mpichv:noalloc
 func (l *LogOn) Merge(src event.Rank, ds []event.Determinant) int64 {
 	for _, d := range ds {
 		l.g.insert(d)
@@ -66,6 +70,8 @@ func (l *LogOn) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
 
 // AppendPiggybackFor implements Reducer: PiggybackFor, appending into a
 // caller-owned buffer.
+//
+//mpichv:noalloc
 func (l *LogOn) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64) {
 	nodes, ops := l.orderedFrontier(dst)
 	for _, n := range nodes {

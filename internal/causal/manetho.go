@@ -30,6 +30,8 @@ func NewManetho(self event.Rank, np int) *Manetho {
 func (m *Manetho) Name() string { return "manetho" }
 
 // AddLocal implements Reducer.
+//
+//mpichv:noalloc
 func (m *Manetho) AddLocal(d event.Determinant) int64 {
 	_, ops := m.g.insert(d)
 	return ops
@@ -40,6 +42,8 @@ func (m *Manetho) AddLocal(d event.Determinant) int64 {
 // resolves cross edges against the graph — three passes over the batch
 // plus a bounded re-crossing of the graph, the most expensive reception
 // handling of the three protocols (paper §V-D.2).
+//
+//mpichv:noalloc
 func (m *Manetho) Merge(src event.Rank, ds []event.Determinant) int64 {
 	for _, d := range ds {
 		m.g.insert(d)
@@ -67,6 +71,8 @@ func (m *Manetho) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
 
 // AppendPiggybackFor implements Reducer: PiggybackFor, appending into a
 // caller-owned buffer.
+//
+//mpichv:noalloc
 func (m *Manetho) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64) {
 	nodes, ops := m.costedFrontier(dst)
 	for _, n := range nodes {
@@ -78,6 +84,8 @@ func (m *Manetho) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([
 // costedFrontier computes the emission frontier and the total op cost, the
 // single home of Manetho's send-side cost model. The returned slice is
 // graph scratch, valid until the next frontier computation.
+//
+//mpichv:noalloc
 func (m *Manetho) costedFrontier(dst event.Rank) ([]*gnode, int64) {
 	nodes, creators := m.g.frontier(dst)
 	ops := creators + int64(m.g.held)/4

@@ -57,10 +57,13 @@ func NewVcausal(self event.Rank, np int) *Vcausal {
 func (v *Vcausal) Name() string { return "vcausal" }
 
 // AddLocal implements Reducer.
+//
+//mpichv:noalloc
 func (v *Vcausal) AddLocal(d event.Determinant) int64 {
 	return v.append(d)
 }
 
+//mpichv:noalloc
 func (v *Vcausal) append(d event.Determinant) int64 {
 	c := d.ID.Creator
 	if d.ID.Clock <= v.lastHeld[c] || d.ID.Clock <= v.stable[c] {
@@ -94,6 +97,8 @@ func (v *Vcausal) append(d event.Determinant) int64 {
 
 // Merge implements Reducer. Determinants from src also teach us what src
 // holds (it necessarily held what it piggybacked).
+//
+//mpichv:noalloc
 func (v *Vcausal) Merge(src event.Rank, ds []event.Determinant) int64 {
 	ops := int64(0)
 	for _, d := range ds {
@@ -121,6 +126,8 @@ func (v *Vcausal) PiggybackFor(dst event.Rank) ([]event.Determinant, int64) {
 
 // AppendPiggybackFor implements Reducer: PiggybackFor, appending into a
 // caller-owned buffer.
+//
+//mpichv:noalloc
 func (v *Vcausal) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64) {
 	_, ops := v.planFor(dst)
 	return v.emitTo(dst, buf), ops
@@ -130,6 +137,8 @@ func (v *Vcausal) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([
 // is the first index of seqs[c] to piggyback — and the total count and op
 // cost. It must not mutate reducer state: the commitment to knownBy
 // happens in emitTo, exactly once per send.
+//
+//mpichv:noalloc
 func (v *Vcausal) planFor(dst event.Rank) (total int, ops int64) {
 	ops = int64(v.held) / 8
 	for c := 0; c < v.np; c++ {
@@ -165,6 +174,8 @@ func (v *Vcausal) planFor(dst event.Rank) (total int, ops int64) {
 
 // emitTo appends the planned suffixes to buf and commits the optimistic
 // assumption that dst now holds them.
+//
+//mpichv:noalloc
 func (v *Vcausal) emitTo(dst event.Rank, buf []event.Determinant) []event.Determinant {
 	for c := 0; c < v.np; c++ {
 		seq := v.seqs[c]
@@ -177,6 +188,8 @@ func (v *Vcausal) emitTo(dst event.Rank, buf []event.Determinant) []event.Determ
 }
 
 // Stable implements Reducer.
+//
+//mpichv:noalloc
 func (v *Vcausal) Stable(vec []uint64) int64 {
 	ops := int64(0)
 	for c := 0; c < v.np && c < len(vec); c++ {

@@ -22,6 +22,8 @@ func EncodeFactored(ds []Determinant) []byte {
 // extended buffer. Encoding into a caller-owned scratch buffer keeps
 // checkpoint-image serialization and the codec benchmarks allocation-free
 // in steady state.
+//
+//mpichv:noalloc
 func AppendFactored(buf []byte, ds []Determinant) []byte {
 	i := 0
 	for i < len(ds) {
@@ -39,6 +41,7 @@ func AppendFactored(buf []byte, ds []Determinant) []byte {
 	return buf
 }
 
+//mpichv:noalloc
 func appendEventBody(buf []byte, d Determinant) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.ID.Clock))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(d.Sender))
@@ -99,6 +102,8 @@ func EncodeFlat(ds []Determinant) []byte {
 
 // AppendFlat appends the flat (LogOn) encoding of ds to buf and returns the
 // extended buffer.
+//
+//mpichv:noalloc
 func AppendFlat(buf []byte, ds []Determinant) []byte {
 	for _, d := range ds {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(d.ID.Creator))

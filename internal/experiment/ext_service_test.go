@@ -66,3 +66,34 @@ func TestExtServiceSmokeShape(t *testing.T) {
 		}
 	}
 }
+
+// TestExtServiceSmokeRaceWide exists for the CI race job: `go test -race
+// -short ./...` predates harness parallelism over service cells, so this
+// test (deliberately not skipped in -short) pushes the whole smoke grid
+// through a worker pool wider than the grid's natural parallelism, with
+// tracing enabled so the per-cell trace writers run concurrently too.
+// The functional assertions are deliberately light — shape claims live in
+// TestExtServiceSmokeShape; what matters here is that the race detector
+// sees the interleavings. Traced results must still be byte-identical to
+// the untraced sequential run (tracing only observes).
+func TestExtServiceSmokeRaceWide(t *testing.T) {
+	_, seq := runServiceSmoke(t, 1)
+
+	old := RunnerOptions()
+	SetRunnerOptions(harness.Options{Parallel: 8, TraceDir: t.TempDir()})
+	defer SetRunnerOptions(old)
+	rep := ExtServiceSmokeReport()
+	if len(rep.Sweeps) != 1 {
+		t.Fatalf("smoke report has %d sweeps, want 1", len(rep.Sweeps))
+	}
+	for _, err := range rep.Sweeps[0].Errs() {
+		t.Error(err)
+	}
+	wide, err := rep.Sweeps[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, wide) {
+		t.Fatal("traced -parallel 8 results differ from untraced -parallel 1")
+	}
+}

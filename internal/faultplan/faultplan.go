@@ -683,7 +683,7 @@ func partitionActive(net *netmodel.Network, groups [][]int) bool {
 			groupOf[r] = gi
 		}
 	}
-	for a, ga := range groupOf {
+	for a, ga := range groupOf { //lint:allow detmap existential query over pure link-state reads: any visiting order yields the same boolean
 		for b, gb := range groupOf {
 			if a != b && ga != gb && net.Link(a, b).State() == netmodel.LinkDown {
 				return true

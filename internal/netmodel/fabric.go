@@ -272,7 +272,7 @@ func (n *Network) Partition(groups [][]int) {
 			groupOf[ep] = gi
 		}
 	}
-	for a, ga := range groupOf {
+	for a, ga := range groupOf { //lint:allow detmap DownLink only flips per-link state; the final fabric is the same whatever the severing order
 		for b, gb := range groupOf {
 			if a != b && ga != gb {
 				n.DownLink(a, b)

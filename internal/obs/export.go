@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 
 	"mpichv/internal/sim"
 )
@@ -285,11 +286,7 @@ func sortedSpans(m map[int64]*span) []struct {
 			keys = append(keys, k)
 		}
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]struct {
 		idx int64
 		s   *span

@@ -34,6 +34,8 @@ func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
 // zero (a replayed response consumed before its request's nominal arrival
 // has no meaningful positive latency). On a nil receiver it is a no-op —
 // the disabled-layer contract.
+//
+//mpichv:noalloc
 func (h *LatencyHist) Observe(v sim.Time) {
 	if h == nil {
 		return
@@ -46,6 +48,8 @@ func (h *LatencyHist) Observe(v sim.Time) {
 }
 
 // Count returns the number of recorded samples (0 on a nil receiver).
+//
+//mpichv:noalloc
 func (h *LatencyHist) Count() int64 {
 	if h == nil {
 		return 0
@@ -58,6 +62,8 @@ func (h *LatencyHist) Count() int64 {
 // nanoseconds. An empty (or nil) histogram reports 0. Because buckets are
 // scanned smallest-first and q maps to a rank, Quantile is monotone in q:
 // Quantile(0.99) >= Quantile(0.5) always holds.
+//
+//mpichv:noalloc
 func (h *LatencyHist) Quantile(q float64) sim.Time {
 	if h == nil || h.total == 0 {
 		return 0
@@ -84,6 +90,8 @@ func (h *LatencyHist) Quantile(q float64) sim.Time {
 
 // Max returns the upper bound of the highest occupied bucket (0 when
 // empty): the deterministic worst-case latency estimate.
+//
+//mpichv:noalloc
 func (h *LatencyHist) Max() sim.Time {
 	if h == nil || h.total == 0 {
 		return 0

@@ -181,6 +181,8 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // Record appends one event. On a nil receiver it is a no-op (one branch,
 // zero allocs) — the disabled-layer contract.
+//
+//mpichv:noalloc
 func (r *Recorder) Record(t sim.Time, kind Kind, rank int, arg int64, note string) {
 	if r == nil {
 		return
@@ -190,6 +192,8 @@ func (r *Recorder) Record(t sim.Time, kind Kind, rank int, arg int64, note strin
 
 // Enabled reports whether the recorder accumulates events (false for the
 // nil disabled layer).
+//
+//mpichv:noalloc
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // Events returns the recorded timeline in emission order. The slice is
@@ -202,6 +206,8 @@ func (r *Recorder) Events() []Event {
 }
 
 // Len returns the number of recorded events.
+//
+//mpichv:noalloc
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"testing"
 
 	"mpichv/internal/sim"
@@ -314,5 +315,55 @@ func TestConfigInterval(t *testing.T) {
 	}
 	if got := (&Config{SampleInterval: 7 * sim.Millisecond}).Interval(); got != 7*sim.Millisecond {
 		t.Fatalf("explicit interval = %v", got)
+	}
+}
+
+// TestChromeTraceCloseOutOrder pins the end-of-run close-out pass for
+// still-open fabric windows. Partitions and degrades live in maps keyed
+// by plan component, and a run can end with many of them still open; the
+// close-out must visit them in ascending component order (collect the
+// keys, sort, then close) so the rendered trace is byte-identical no
+// matter how the map iterates. Sixteen open spans per map make an
+// unsorted iteration essentially certain to reorder between renders.
+func TestChromeTraceCloseOutOrder(t *testing.T) {
+	const np, spans = 2, 16
+	end := 10 * sim.Millisecond
+	var events []Event
+	for i := 0; i < spans; i++ {
+		events = append(events,
+			Event{T: sim.Time(i) * sim.Microsecond, Kind: KindPartitionCut, Rank: -1, Arg: int64(i), Note: "p"},
+			Event{T: sim.Time(i) * sim.Microsecond, Kind: KindDegrade, Rank: -1, Arg: int64(i), Note: "d"},
+		)
+	}
+	out := ChromeTrace(events, np, end)
+	for i := 0; i < 8; i++ {
+		if !bytes.Equal(out, ChromeTrace(events, np, end)) {
+			t.Fatal("ChromeTrace output varies across renders with open fabric spans")
+		}
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	closeouts := map[string][]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && (ev.Name == "partition" || ev.Name == "degraded") {
+			closeouts[ev.Name] = append(closeouts[ev.Name], ev.Tid)
+		}
+	}
+	for _, name := range []string{"partition", "degraded"} {
+		tids := closeouts[name]
+		if len(tids) != spans {
+			t.Fatalf("%s: %d close-out slices, want %d", name, len(tids), spans)
+		}
+		if !sort.IntsAreSorted(tids) {
+			t.Fatalf("%s close-out slices not in ascending component order: %v", name, tids)
+		}
 	}
 }

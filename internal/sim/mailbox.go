@@ -44,6 +44,8 @@ func (m *Mailbox[T]) grow() {
 
 // Put appends v and wakes the oldest live waiter, if any. It may be called
 // from event context or from any process.
+//
+//mpichv:noalloc
 func (m *Mailbox[T]) Put(v T) {
 	if m.count == len(m.ring) {
 		m.grow()
@@ -53,6 +55,7 @@ func (m *Mailbox[T]) Put(v T) {
 	m.wakeOne()
 }
 
+//mpichv:noalloc
 func (m *Mailbox[T]) wakeOne() {
 	for len(m.waiters) > 0 {
 		w := m.waiters[0]
@@ -82,12 +85,15 @@ func (m *Mailbox[T]) newWaiter(p *Proc) *waiter {
 	return w
 }
 
+//mpichv:noalloc
 func (m *Mailbox[T]) recycle(w *waiter) {
 	w.p = nil
 	m.waiterFree = append(m.waiterFree, w)
 }
 
 // pop removes and returns the oldest item (count must be positive).
+//
+//mpichv:noalloc
 func (m *Mailbox[T]) pop() T {
 	v := m.ring[m.head]
 	var zero T
@@ -100,6 +106,8 @@ func (m *Mailbox[T]) pop() T {
 // Get removes and returns the oldest item, blocking the calling process
 // until one is available. If the process is killed while waiting, Get
 // unwinds with ErrKilled.
+//
+//mpichv:noalloc
 func (m *Mailbox[T]) Get(p *Proc) T {
 	for m.count == 0 {
 		w := m.newWaiter(p)
@@ -123,6 +131,8 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 
 // TryGet removes and returns the oldest item without blocking. The boolean
 // reports whether an item was available.
+//
+//mpichv:noalloc
 func (m *Mailbox[T]) TryGet() (T, bool) {
 	if m.count == 0 {
 		var zero T
