@@ -4,18 +4,23 @@
 // Usage:
 //
 //	bench [-short] [-label L] [-out FILE] [-baseline FILE] [-gate PCT]
-//	      [-equal-allocs NAME[,NAME...]] [-bench NAME[,NAME...]]
-//	      [-benchtime D] [-sha REV] [-q]
+//	      [-ratchet FILE] [-noise PCT] [-equal-allocs NAME[,NAME...]]
+//	      [-bench NAME[,NAME...]] [-benchtime D] [-sha REV] [-q]
 //	bench -list
 //
 // Results are serialized to BENCH_<label>.json (override with -out).
 // With -baseline the run is diffed against a committed baseline file; with
 // -gate the command exits non-zero when any curated benchmark regresses by
 // more than PCT percent in ns/op (calibration-normalized across machines)
-// or allocs/op — the CI perf gate. -equal-allocs additionally holds the
-// named benchmarks to exact allocs/op equality with the baseline (zero
-// slack, exit non-zero on any increase) — the proof that the disabled
-// observability layer costs nothing on the hot path.
+// or allocs/op — the flat perf gate. -ratchet is the monotone version: the
+// run is gated against the best recorded run in FILE within a -noise
+// percent band (default 5), a missing benchmark is a failure, and an
+// improvement beyond the band rewrites FILE with this run — so the
+// committed trajectory can only go down. A -short run never rewrites a
+// full-length best. -equal-allocs additionally holds the named benchmarks
+// to exact allocs/op equality with the baseline (zero slack, exit non-zero
+// on any increase) — the proof that the disabled observability layer costs
+// nothing on the hot path.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<label>.json; \"-\" suppresses the file)")
 	baseline := flag.String("baseline", "", "baseline file to diff against")
 	gate := flag.Float64("gate", 0, "fail when any benchmark regresses more than this percent vs -baseline (0 = report only)")
+	ratchet := flag.String("ratchet", "", "best-run file for the monotone gate (fails beyond -noise, re-baselines on improvement)")
+	noise := flag.Float64("noise", 5, "noise band in percent for the -ratchet gate")
 	only := flag.String("bench", "", "comma-separated benchmark names to run (default all)")
 	equalAllocs := flag.String("equal-allocs", "", "comma-separated benchmarks held to exact allocs/op equality vs -baseline (zero slack)")
 	benchtime := flag.Duration("benchtime", 0, "per-benchmark measuring time (default 1s, 100ms with -short)")
@@ -100,6 +107,11 @@ func main() {
 		}
 	}
 
+	strictNames := splitNames(*equalAllocs)
+
+	if *ratchet != "" {
+		runRatchet(res, *ratchet, *noise, strictNames)
+	}
 	if *baseline == "" {
 		return
 	}
@@ -109,12 +121,8 @@ func main() {
 	}
 	regs := bench.Compare(res, base, *gate)
 	var strict []bench.Regression
-	if *equalAllocs != "" {
-		var names []string
-		for _, n := range strings.Split(*equalAllocs, ",") {
-			names = append(names, strings.TrimSpace(n))
-		}
-		strict = bench.EqualAllocs(res, base, names)
+	if len(strictNames) > 0 {
+		strict = bench.EqualAllocs(res, base, strictNames)
 	}
 	if len(regs) == 0 && len(strict) == 0 {
 		fmt.Printf("no regressions beyond %.0f%% vs %s (sha %.12s)\n", *gate, *baseline, base.SHA)
@@ -129,6 +137,57 @@ func main() {
 	if *gate > 0 && len(regs) > 0 || len(strict) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runRatchet applies the monotone gate: regressions beyond the noise band
+// vs. the best recorded run (or a dropped benchmark, or an equal-allocs
+// violation) exit non-zero; an improvement rewrites the best file with
+// this run. A missing best file is bootstrapped from this run.
+func runRatchet(res *bench.Results, path string, noise float64, strictNames []string) {
+	best, err := bench.Load(path)
+	if os.IsNotExist(err) {
+		if err := res.Save(path); err != nil {
+			fatal("bootstrap %s: %v", path, err)
+		}
+		fmt.Printf("ratchet: recorded first best run in %s\n", path)
+		return
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	regs, improved := bench.Ratchet(res, best, noise)
+	var strict []bench.Regression
+	if len(strictNames) > 0 {
+		strict = bench.EqualAllocs(res, best, strictNames)
+	}
+	if len(regs) > 0 || len(strict) > 0 {
+		for _, r := range regs {
+			fmt.Printf("RATCHET %s\n", r)
+		}
+		for _, r := range strict {
+			fmt.Printf("ALLOC-EQUALITY %s\n", r)
+		}
+		os.Exit(1)
+	}
+	if improved {
+		if err := res.Save(path); err != nil {
+			fatal("advance ratchet %s: %v", path, err)
+		}
+		fmt.Printf("ratchet advanced: %s now records this run (sha %.12s)\n", path, res.SHA)
+		return
+	}
+	fmt.Printf("within %.0f%% noise of best run %s (sha %.12s)\n", noise, path, best.SHA)
+}
+
+// splitNames parses a comma-separated name list, dropping empties.
+func splitNames(s string) []string {
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
 }
 
 // revision resolves the recorded source revision: the explicit flag, the

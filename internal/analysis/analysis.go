@@ -7,9 +7,14 @@
 //     map-iteration order may reach an output (check "detmap") and no wall
 //     clock or global RNG may reach simulation state (check "walltime");
 //   - zero-allocation hot paths: functions annotated //mpichv:noalloc must
-//     contain no allocating constructs (check "noalloc"), giving the
-//     runtime equal-allocs bench gate a static twin that names the exact
-//     line when a regression appears;
+//     contain no allocating constructs (check "noalloc"), must not reach an
+//     allocating helper through any chain of module-internal calls (check
+//     "noalloctrans", which walks a conservative whole-module call graph
+//     and stops only at //mpichv:noalloc or //mpichv:amortized <reason>
+//     boundaries), and must avoid dynamic dispatch that defeats inlining
+//     (check "hotcall") — together giving the runtime equal-allocs bench
+//     gate a static twin that names the exact line when a regression
+//     appears;
 //   - pool discipline: vproto's packet pool must never see a use after
 //     PutPacket, a double put, or a leaked GetPacket (check
 //     "pooldiscipline").
@@ -61,9 +66,24 @@ type Check interface {
 	Run(pkg *Package) []Finding
 }
 
-// Checks returns the full suite in stable order.
+// Checks returns the per-package suite in stable order. Whole-module
+// checks live in ModuleChecks.
 func Checks() []Check {
-	return []Check{DetMap{}, WallTime{}, NoAlloc{}, PoolDiscipline{}}
+	return []Check{DetMap{}, WallTime{}, NoAlloc{}, HotCall{}, PoolDiscipline{}}
+}
+
+// KnownChecks returns the set of valid check names — per-package and
+// module-level alike — used to validate //lint:allow directives and
+// -checks selections.
+func KnownChecks() map[string]bool {
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name()] = true
+	}
+	for _, mc := range ModuleChecks() {
+		known[mc.Name()] = true
+	}
+	return known
 }
 
 // SimCorePackages is the set of simulation-core package base names whose
@@ -142,12 +162,22 @@ func parseDirectives(pkg *Package, file *ast.File, known map[string]bool) ([]dir
 // findings for malformed directives. It is exported so the golden-file
 // tests exercise suppression exactly as the driver applies it.
 func ApplyDirectives(pkg *Package, findings []Finding) []Finding {
-	known := make(map[string]bool)
-	for _, c := range Checks() {
-		known[c.Name()] = true
-	}
-	// directives[filename][line][check]
 	covered := make(map[string]map[int]map[string]bool)
+	out := coverageOf(pkg, KnownChecks(), covered)
+	for _, f := range findings {
+		if lines := covered[f.Pos.Filename]; lines != nil && lines[f.Pos.Line][f.Check] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// coverageOf parses one package's //lint:allow directives into the shared
+// covered[filename][line][check] map and returns the malformed-directive
+// findings. A directive covers its own line (trailing comment) and the
+// next line (comment-above idiom).
+func coverageOf(pkg *Package, known map[string]bool, covered map[string]map[int]map[string]bool) []Finding {
 	var out []Finding
 	for _, file := range pkg.Files {
 		ds, bad := parseDirectives(pkg, file, known)
@@ -157,8 +187,6 @@ func ApplyDirectives(pkg *Package, findings []Finding) []Finding {
 			if covered[name] == nil {
 				covered[name] = make(map[int]map[string]bool)
 			}
-			// A directive covers its own line (trailing comment) and the
-			// next line (comment-above idiom).
 			for _, ln := range []int{d.line, d.line + 1} {
 				if covered[name][ln] == nil {
 					covered[name][ln] = make(map[string]bool)
@@ -166,12 +194,6 @@ func ApplyDirectives(pkg *Package, findings []Finding) []Finding {
 				covered[name][ln][d.check] = true
 			}
 		}
-	}
-	for _, f := range findings {
-		if lines := covered[f.Pos.Filename]; lines != nil && lines[f.Pos.Line][f.Check] {
-			continue
-		}
-		out = append(out, f)
 	}
 	return out
 }
@@ -194,24 +216,69 @@ func RunPackage(pkg *Package) []Finding {
 }
 
 // Run loads every package found under root (recursively, skipping
-// testdata and hidden directories), runs the suite, and returns the
-// surviving findings sorted by position.
+// testdata and hidden directories), runs the full suite — per-package and
+// module-level — and returns the surviving findings sorted by position.
 func Run(root string) ([]Finding, error) {
-	loader, err := NewLoader(root)
+	return RunChecks(root, nil)
+}
+
+// RunChecks is Run scoped to a subset of check names (nil or empty means
+// the full suite). An unknown check name is an error.
+func RunChecks(root string, names []string) ([]Finding, error) {
+	m, err := LoadModule(root)
 	if err != nil {
 		return nil, err
 	}
-	dirs, err := loader.PackageDirs()
-	if err != nil {
-		return nil, err
-	}
-	var findings []Finding
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", dir, err)
+	return RunModuleChecks(m, names)
+}
+
+// RunModuleChecks is RunChecks on an already-loaded module. Directive
+// suppression is applied module-wide, so a //lint:allow in any package
+// covers module-check findings reported against that package's files.
+func RunModuleChecks(m *Module, names []string) ([]Finding, error) {
+	known := KnownChecks()
+	enabled := make(map[string]bool)
+	if len(names) == 0 {
+		enabled = known
+	} else {
+		for _, n := range names {
+			if !known[n] {
+				return nil, fmt.Errorf("unknown check %q", n)
+			}
+			enabled[n] = true
 		}
-		findings = append(findings, RunPackage(pkg)...)
+	}
+	var raw []Finding
+	for _, pkg := range m.Pkgs {
+		for _, c := range Checks() {
+			if !enabled[c.Name()] {
+				continue
+			}
+			switch c.(type) {
+			case DetMap, WallTime:
+				if !simCore(pkg) {
+					continue
+				}
+			}
+			raw = append(raw, c.Run(pkg)...)
+		}
+	}
+	for _, mc := range ModuleChecks() {
+		if !enabled[mc.Name()] {
+			continue
+		}
+		raw = append(raw, mc.RunModule(m)...)
+	}
+	covered := make(map[string]map[int]map[string]bool)
+	var findings []Finding
+	for _, pkg := range m.Pkgs {
+		findings = append(findings, coverageOf(pkg, known, covered)...)
+	}
+	for _, f := range raw {
+		if lines := covered[f.Pos.Filename]; lines != nil && lines[f.Pos.Line][f.Check] {
+			continue
+		}
+		findings = append(findings, f)
 	}
 	Sort(findings)
 	return findings, nil

@@ -84,6 +84,7 @@ func TestGolden(t *testing.T) {
 		{"detmapfix", analysis.DetMap{}},
 		{"walltimefix", analysis.WallTime{}},
 		{"noallocfix", analysis.NoAlloc{}},
+		{"hotcallfix", analysis.HotCall{}},
 		{"poolfix", analysis.PoolDiscipline{}},
 	}
 	for _, tc := range cases {
@@ -142,9 +143,10 @@ func TestDirectiveValidation(t *testing.T) {
 	}
 }
 
-// TestCheckMetadata pins the check names the directives reference.
+// TestCheckMetadata pins the check names the directives reference, for
+// the per-package and module-level suites alike.
 func TestCheckMetadata(t *testing.T) {
-	want := []string{"detmap", "walltime", "noalloc", "pooldiscipline"}
+	want := []string{"detmap", "walltime", "noalloc", "hotcall", "pooldiscipline"}
 	checks := analysis.Checks()
 	if len(checks) != len(want) {
 		t.Fatalf("want %d checks, got %d", len(want), len(checks))
@@ -155,6 +157,25 @@ func TestCheckMetadata(t *testing.T) {
 		}
 		if c.Desc() == "" {
 			t.Errorf("check %s: empty description", c.Name())
+		}
+	}
+	wantModule := []string{"noalloctrans"}
+	moduleChecks := analysis.ModuleChecks()
+	if len(moduleChecks) != len(wantModule) {
+		t.Fatalf("want %d module checks, got %d", len(wantModule), len(moduleChecks))
+	}
+	for i, c := range moduleChecks {
+		if c.Name() != wantModule[i] {
+			t.Errorf("module check %d: want name %q, got %q", i, wantModule[i], c.Name())
+		}
+		if c.Desc() == "" {
+			t.Errorf("module check %s: empty description", c.Name())
+		}
+	}
+	known := analysis.KnownChecks()
+	for _, name := range append(append([]string{}, want...), wantModule...) {
+		if !known[name] {
+			t.Errorf("KnownChecks missing %q", name)
 		}
 	}
 }

@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// AmortizedDirective marks a function as a deliberate allocation boundary
+// on an otherwise allocation-free path: a grow/refill slow path (ring
+// doubling, slab block allocation, free-list refill) whose cost amortizes
+// to zero over the steady state, or a cold abort path. The transitive
+// noalloc check stops at amortized functions instead of descending into
+// them. The directive must carry a written reason,
+//
+//	//mpichv:amortized <reason>
+//
+// explaining why the allocation cannot land on the steady-state path; a
+// reasonless directive is itself a finding (check "lint-directive").
+const AmortizedDirective = "//mpichv:amortized"
+
+// EdgeKind classifies how a call site was resolved to its callees.
+type EdgeKind int
+
+// The three resolution classes of a call-graph edge.
+const (
+	// EdgeStatic is a direct call to a named function or a method call on
+	// a concrete (non-interface) receiver: resolved exactly.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a method call through an interface value: resolved
+	// conservatively to every module method whose receiver type
+	// implements the interface.
+	EdgeInterface
+	// EdgeFuncValue is an invocation of a func-typed value (variable,
+	// field, parameter, method value): resolved conservatively to every
+	// module function or method with an identical signature.
+	EdgeFuncValue
+)
+
+// String returns the edge kind's display name.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeFuncValue:
+		return "func-value"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Edge is one resolved call-graph edge: a call site and one of its
+// possible callees.
+type Edge struct {
+	// To is the callee's canonical (generic-origin) function object.
+	To *types.Func
+	// Kind records how the call site was resolved.
+	Kind EdgeKind
+	// Pos is the call site's position.
+	Pos token.Pos
+}
+
+// FuncNode is one module function in the call graph: its declaration, the
+// hot-path directives on it, and its outgoing edges.
+type FuncNode struct {
+	// Fn is the canonical function object (Origin for generic functions).
+	Fn *types.Func
+	// Decl is the function's declaration, body included.
+	Decl *ast.FuncDecl
+	// Pkg is the package the function is declared in.
+	Pkg *Package
+	// NoAlloc reports a //mpichv:noalloc annotation on the declaration.
+	NoAlloc bool
+	// Amortized reports a //mpichv:amortized annotation; Reason carries
+	// its mandatory justification (empty when missing — a finding).
+	Amortized bool
+	// Reason is the text following //mpichv:amortized.
+	Reason string
+	// Edges are the function's outgoing calls in source order; dynamic
+	// sites contribute one edge per type-compatible module candidate.
+	Edges []Edge
+}
+
+// CallGraph is a conservative, stdlib-only call graph over one module:
+// static calls resolved exactly, interface-method and func-value calls
+// resolved to every type-compatible implementation in the module. Calls
+// into the standard library are not represented (the intra-procedural
+// noalloc check governs those sites).
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// sorted caches the position-ordered node list dynamic-edge
+	// resolution iterates for every call site.
+	sorted []*FuncNode
+	// addrTaken holds every function referenced somewhere as a value;
+	// only these can be func-value call targets.
+	addrTaken map[*types.Func]bool
+}
+
+// Module is the whole-module view the module-level checks run on: every
+// package of the module plus the call graph across them.
+type Module struct {
+	// Loader is the shared loader the packages were loaded through.
+	Loader *Loader
+	// Pkgs holds every package of the module in import-path order.
+	Pkgs []*Package
+	// Graph is the conservative module call graph.
+	Graph *CallGraph
+}
+
+// LoadModule loads and type-checks every package of the module rooted at
+// root and builds its call graph.
+func LoadModule(root string) (*Module, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Loader: loader}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", dir, err)
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	m.Graph = buildCallGraph(m.Pkgs)
+	return m, nil
+}
+
+// NodeOf returns the call-graph node of fn (canonicalized through Origin),
+// or nil for functions outside the module.
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Functions returns every module function node sorted by position, the
+// deterministic traversal order of the module checks.
+func (g *CallGraph) Functions() []*FuncNode {
+	if g.sorted == nil {
+		out := make([]*FuncNode, 0, len(g.nodes))
+		for _, n := range g.nodes {
+			out = append(out, n)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			pi := out[i].Pkg.Fset.Position(out[i].Decl.Pos())
+			pj := out[j].Pkg.Fset.Position(out[j].Decl.Pos())
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Line < pj.Line
+		})
+		g.sorted = out
+	}
+	return g.sorted
+}
+
+// Lookup finds a node by its DisplayName (e.g. "causal.(*Vcausal).append"),
+// or nil. Intended for tests and diagnostics, not hot paths.
+func (g *CallGraph) Lookup(display string) *FuncNode {
+	for _, n := range g.nodes {
+		if DisplayName(n.Fn) == display {
+			return n
+		}
+	}
+	return nil
+}
+
+// DisplayName renders a function object as <pkgbase>.<recv>.<name>, e.g.
+// "causal.(*Vcausal).append" or "event.AppendFlat" — the form findings and
+// the HOTPATH.json manifest use.
+func DisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		ptr := false
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+			ptr = true
+		}
+		recv := ""
+		if named, ok := rt.(*types.Named); ok {
+			recv = named.Obj().Name()
+		} else {
+			recv = rt.String()
+		}
+		if ptr {
+			name = "(*" + recv + ")." + name
+		} else {
+			name = recv + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return path.Base(fn.Pkg().Path()) + "." + name
+	}
+	return name
+}
+
+// buildCallGraph indexes every function declaration of the module and
+// resolves each call site to its possible module-internal callees.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	// Pass 1: index declarations and directives.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				amortized, reason := amortizedDirective(fd)
+				g.nodes[obj.Origin()] = &FuncNode{
+					Fn:        obj.Origin(),
+					Decl:      fd,
+					Pkg:       pkg,
+					NoAlloc:   hasNoAllocDirective(fd),
+					Amortized: amortized,
+					Reason:    reason,
+				}
+			}
+		}
+	}
+	g.addrTaken = addressTaken(pkgs)
+	// Pass 2: resolve call sites.
+	for _, node := range g.nodes {
+		node.Edges = g.resolveCalls(node)
+	}
+	return g
+}
+
+// addressTaken records every function referenced as a value — assigned,
+// passed as an argument, stored in a field, returned — rather than
+// directly called. Only these can be reached through a func-value
+// invocation; without this restriction, a call through a bare func() value
+// would conservatively match every niladic function in the module.
+func addressTaken(pkgs []*Package) map[*types.Func]bool {
+	taken := make(map[*types.Func]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			callFun := make(map[*ast.Ident]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun := ast.Unparen(call.Fun)
+				switch idx := fun.(type) {
+				case *ast.IndexExpr:
+					fun = ast.Unparen(idx.X)
+				case *ast.IndexListExpr:
+					fun = ast.Unparen(idx.X)
+				}
+				switch f := fun.(type) {
+				case *ast.Ident:
+					callFun[f] = true
+				case *ast.SelectorExpr:
+					callFun[f.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callFun[id] {
+					return true
+				}
+				if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+					taken[fn.Origin()] = true
+				}
+				return true
+			})
+		}
+	}
+	return taken
+}
+
+// amortizedDirective reports whether fn's doc comment carries
+// //mpichv:amortized, and the reason text following it.
+func amortizedDirective(fn *ast.FuncDecl) (bool, string) {
+	if fn.Doc == nil {
+		return false, ""
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, AmortizedDirective); ok {
+			return true, strings.TrimSpace(rest)
+		}
+	}
+	return false, ""
+}
+
+// resolveCalls walks one function body (closures included — their calls
+// belong to the enclosing function) and resolves every call expression.
+func (g *CallGraph) resolveCalls(node *FuncNode) []Edge {
+	var edges []Edge
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		edges = append(edges, g.resolveCall(node.Pkg, call)...)
+		return true
+	})
+	return edges
+}
+
+// resolveCall classifies one call site and returns its module-internal
+// edges. Builtins, type conversions and standard-library callees resolve
+// to nothing.
+func (g *CallGraph) resolveCall(pkg *Package, call *ast.CallExpr) []Edge {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: f[T](...) — unwrap to the function operand.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	// Type conversion: T(x).
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[f].(type) {
+		case *types.Builtin:
+			return nil
+		case *types.Func:
+			return g.staticEdge(obj, call.Pos())
+		case *types.Var:
+			// Invocation of a func-typed variable or parameter.
+			return g.funcValueEdges(obj.Type(), call.Pos())
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if types.IsInterface(sel.Recv()) {
+					return g.interfaceEdges(sel.Obj().(*types.Func), call.Pos())
+				}
+				return g.staticEdge(sel.Obj().(*types.Func), call.Pos())
+			case types.FieldVal:
+				// Invocation of a func-typed struct field.
+				return g.funcValueEdges(sel.Obj().Type(), call.Pos())
+			}
+			return nil
+		}
+		// No selection: a package-qualified reference pkg.F.
+		switch obj := pkg.Info.Uses[f.Sel].(type) {
+		case *types.Func:
+			return g.staticEdge(obj, call.Pos())
+		case *types.Var:
+			return g.funcValueEdges(obj.Type(), call.Pos())
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal: its body is walked as part of the
+		// enclosing function, so there is no separate node to point at.
+		return nil
+	}
+	return nil
+}
+
+// staticEdge returns the exact edge to fn when fn is declared in the
+// module, nothing otherwise.
+func (g *CallGraph) staticEdge(fn *types.Func, pos token.Pos) []Edge {
+	if g.nodes[fn.Origin()] == nil {
+		return nil
+	}
+	return []Edge{{To: fn.Origin(), Kind: EdgeStatic, Pos: pos}}
+}
+
+// interfaceEdges resolves an interface-method call to every module method
+// with the same name whose receiver type implements the interface.
+func (g *CallGraph) interfaceEdges(method *types.Func, pos token.Pos) []Edge {
+	sig, ok := method.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var edges []Edge
+	for _, cand := range g.sortedNodes() {
+		csig, ok := cand.Fn.Type().(*types.Signature)
+		if !ok || csig.Recv() == nil || cand.Fn.Name() != method.Name() {
+			continue
+		}
+		recv := csig.Recv().Type()
+		// The pointer method set is the superset: checking *T covers
+		// candidates reachable through both T and *T values.
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p
+		} else if named, ok := recv.(*types.Named); ok {
+			recv = types.NewPointer(named)
+		}
+		if types.Implements(recv, iface) {
+			edges = append(edges, Edge{To: cand.Fn, Kind: EdgeInterface, Pos: pos})
+		}
+	}
+	return edges
+}
+
+// funcValueEdges resolves an invocation of a func-typed value to every
+// address-taken module function or method with an identical signature
+// (receivers are ignored by signature identity, so method values match
+// their methods). Functions never referenced as values cannot flow into a
+// func variable and are excluded.
+func (g *CallGraph) funcValueEdges(t types.Type, pos token.Pos) []Edge {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var edges []Edge
+	for _, cand := range g.sortedNodes() {
+		csig, ok := cand.Fn.Type().(*types.Signature)
+		if !ok || !g.addrTaken[cand.Fn] {
+			continue
+		}
+		if types.Identical(csig, sig) {
+			edges = append(edges, Edge{To: cand.Fn, Kind: EdgeFuncValue, Pos: pos})
+		}
+	}
+	return edges
+}
+
+// sortedNodes returns the nodes in deterministic position order, so the
+// candidate lists of dynamic edges never depend on map iteration.
+func (g *CallGraph) sortedNodes() []*FuncNode {
+	return g.Functions()
+}

@@ -1,0 +1,148 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpichv/internal/analysis"
+)
+
+// fixtureModule caches the whole-module fixture (testdata/mod, its own
+// go.mod) used by the call-graph and module-check tests. It deliberately
+// imports no standard library, so loading it is cheap.
+var fixtureModule = sync.OnceValues(func() (*analysis.Module, error) {
+	return analysis.LoadModule(filepath.Join("testdata", "mod"))
+})
+
+// loadFixtureModule returns the shared fixture module.
+func loadFixtureModule(t *testing.T) *analysis.Module {
+	t.Helper()
+	m, err := fixtureModule()
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	return m
+}
+
+// edgeSet renders a node's outgoing edges as "kind:display" strings.
+func edgeSet(t *testing.T, m *analysis.Module, display string) map[string]bool {
+	t.Helper()
+	node := m.Graph.Lookup(display)
+	if node == nil {
+		t.Fatalf("no call-graph node for %s", display)
+	}
+	set := make(map[string]bool)
+	for _, e := range node.Edges {
+		set[e.Kind.String()+":"+analysis.DisplayName(e.To)] = true
+	}
+	return set
+}
+
+// TestCallGraphEdges pins edge resolution over the fixture module: static
+// calls (same- and cross-package), interface dispatch resolved to the
+// implementing method, and func-value invocation resolved to the
+// address-taken function and method value — but not to same-signature
+// functions that are only ever called directly.
+func TestCallGraphEdges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module loading parses and type-checks the fixture module; skipped in -short")
+	}
+	m := loadFixtureModule(t)
+
+	root := edgeSet(t, m, "transfix.Root")
+	for _, want := range []string{
+		"static:transfix.levelOne",
+		"static:transfix.grow",
+		"static:transfix.cutTarget",
+		"static:transdep.Helper",
+		"interface:transfix.(*SliceSink).Emit",
+		"func-value:transfix.handler",
+		"func-value:transfix.(*counter).bump",
+	} {
+		if !root[want] {
+			t.Errorf("transfix.Root: missing edge %s (have %v)", want, root)
+		}
+	}
+	for edge := range root {
+		if strings.HasPrefix(edge, "func-value:") &&
+			edge != "func-value:transfix.handler" && edge != "func-value:transfix.(*counter).bump" {
+			t.Errorf("transfix.Root: func-value edge to non-address-taken target %s", edge)
+		}
+	}
+	if root["static:transfix.levelTwo"] {
+		t.Errorf("transfix.Root: direct edge to levelTwo; it is only reachable through levelOne")
+	}
+
+	one := edgeSet(t, m, "transfix.levelOne")
+	if !one["static:transfix.levelTwo"] {
+		t.Errorf("transfix.levelOne: missing static edge to levelTwo (have %v)", one)
+	}
+}
+
+// TestCallGraphDirectives pins the directive fields the traversal relies
+// on: noalloc and amortized flags, the mandatory reason, and the
+// both-directives conflict.
+func TestCallGraphDirectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module loading parses and type-checks the fixture module; skipped in -short")
+	}
+	m := loadFixtureModule(t)
+	cases := []struct {
+		display   string
+		noalloc   bool
+		amortized bool
+		hasReason bool
+	}{
+		{"transfix.Root", true, false, false},
+		{"transfix.grow", false, true, true},
+		{"transfix.badBoundary", false, true, false},
+		{"transfix.conflicted", true, true, true},
+		{"transfix.levelOne", false, false, false},
+	}
+	for _, tc := range cases {
+		node := m.Graph.Lookup(tc.display)
+		if node == nil {
+			t.Fatalf("no node for %s", tc.display)
+		}
+		if node.NoAlloc != tc.noalloc || node.Amortized != tc.amortized || (node.Reason != "") != tc.hasReason {
+			t.Errorf("%s: got noalloc=%v amortized=%v reason=%q, want noalloc=%v amortized=%v hasReason=%v",
+				tc.display, node.NoAlloc, node.Amortized, node.Reason, tc.noalloc, tc.amortized, tc.hasReason)
+		}
+	}
+}
+
+// TestTransitiveGolden runs the noalloctrans module check over the fixture
+// module through the scoped driver (module-wide directive suppression
+// included) and compares against the committed golden.
+func TestTransitiveGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module loading parses and type-checks the fixture module; skipped in -short")
+	}
+	findings, err := analysis.RunChecks(filepath.Join("testdata", "mod"), []string{"noalloctrans"})
+	if err != nil {
+		t.Fatalf("RunChecks: %v", err)
+	}
+	checkGolden(t, "transfix", render(findings))
+}
+
+// TestTransitiveCatchesDeepHelper is the regression acceptance case: an
+// allocating helper two static hops below the annotated root is caught,
+// and the finding names the full chain.
+func TestTransitiveCatchesDeepHelper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module loading parses and type-checks the fixture module; skipped in -short")
+	}
+	findings, err := analysis.RunChecks(filepath.Join("testdata", "mod"), []string{"noalloctrans"})
+	if err != nil {
+		t.Fatalf("RunChecks: %v", err)
+	}
+	const chain = "transfix.Root -> transfix.levelOne -> transfix.levelTwo"
+	for _, f := range findings {
+		if f.Check == "noalloctrans" && strings.Contains(f.Msg, chain) {
+			return
+		}
+	}
+	t.Fatalf("no noalloctrans finding naming the chain %q; findings: %v", chain, findings)
+}

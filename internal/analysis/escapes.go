@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FuncEscape is one annotated function's entry in the escape manifest: the
+// compiler facts the hot path depends on. Inline records whether the
+// function fits the inliner's budget; Escapes lists the normalized
+// escape-analysis diagnostics (heap moves, leaking params, escaping
+// values) inside its body. Entries deliberately carry no positions, so the
+// manifest is immune to line shifts from unrelated edits.
+type FuncEscape struct {
+	// Inline reports "can inline" for the function itself.
+	Inline bool `json:"inline"`
+	// Escapes holds the sorted, deduplicated escape diagnostics.
+	Escapes []string `json:"escapes"`
+}
+
+// EscapeManifest maps each //mpichv:noalloc function's display name (e.g.
+// "causal.(*LogOn).AddLocal") to its compiler facts. The committed copy
+// lives in HOTPATH.json at the module root; cmd/lint -escapes regenerates
+// it and fails on regressions (lost inlining, new escapes) while silently
+// rewriting it on improvements.
+type EscapeManifest map[string]FuncEscape
+
+// HotpathManifest is the committed manifest's filename at the module root.
+const HotpathManifest = "HOTPATH.json"
+
+// escapeDiag is one parsed compiler diagnostic: a module-root-relative
+// file, a line, and the message with position prefix stripped.
+type escapeDiag struct {
+	file string
+	line int
+	msg  string
+}
+
+// parseCompilerDiags extracts the diagnostics relevant to the manifest
+// from `go build -gcflags=-m=2` output: inlining decisions, heap moves,
+// leaking params, and escaping values. Verbose headers (lines ending in a
+// colon), flow traces, "does not escape" confirmations and self-assignment
+// notes are dropped.
+func parseCompilerDiags(out string) []escapeDiag {
+	var diags []escapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		file, lineNo, msg, ok := splitDiag(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(msg, "can inline "), strings.HasPrefix(msg, "cannot inline "):
+			diags = append(diags, escapeDiag{file, lineNo, msg})
+		case strings.HasSuffix(msg, ":"):
+			// Verbose escape header ("x escapes to heap:") or parameter-leak
+			// detail ("parameter x leaks to {heap} with derefs=0:"); the
+			// plain forms follow separately.
+		case strings.HasPrefix(msg, "flow:"), strings.HasPrefix(msg, "from "):
+			// -m=2 flow traces.
+		case strings.HasPrefix(msg, "moved to heap:"),
+			strings.HasPrefix(msg, "leaking param"),
+			strings.HasSuffix(msg, "escapes to heap"):
+			diags = append(diags, escapeDiag{file, lineNo, msg})
+		}
+	}
+	return diags
+}
+
+// splitDiag splits "file.go:line:col: msg" into its parts, rejecting
+// anything else (build chatter, package banners).
+func splitDiag(line string) (file string, lineNo int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", false
+	}
+	if _, err := strconv.Atoi(parts[2]); err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], n, strings.TrimSpace(parts[3]), true
+}
+
+// funcSpan locates one annotated function for diagnostic attribution: the
+// file it lives in, the line its name sits on (where the compiler reports
+// inlining decisions — closures inside the body report on their own lines
+// and are excluded by the exact-line match), and the body's line range.
+type funcSpan struct {
+	node     *FuncNode
+	nameLine int
+	endLine  int
+}
+
+// manifestFrom attributes parsed diagnostics to m's annotated functions:
+// an inline decision must sit exactly on the declaration's name line; an
+// escape diagnostic anywhere in the declaration's line range belongs to
+// it.
+func manifestFrom(m *Module, absRoot string, diags []escapeDiag) EscapeManifest {
+	spans := make(map[string][]funcSpan) // absolute file -> annotated spans
+	manifest := make(EscapeManifest)
+	for _, node := range m.Graph.Functions() {
+		if !node.NoAlloc {
+			continue
+		}
+		pos := node.Pkg.Fset.Position(node.Decl.Name.Pos())
+		file := absPath(pos.Filename)
+		spans[file] = append(spans[file], funcSpan{
+			node:     node,
+			nameLine: pos.Line,
+			endLine:  node.Pkg.Fset.Position(node.Decl.End()).Line,
+		})
+		manifest[DisplayName(node.Fn)] = FuncEscape{}
+	}
+	for _, d := range diags {
+		file := filepath.Join(absRoot, filepath.FromSlash(d.file))
+		for _, span := range spans[file] {
+			name := DisplayName(span.node.Fn)
+			entry := manifest[name]
+			if strings.HasPrefix(d.msg, "can inline ") && d.line == span.nameLine {
+				entry.Inline = true
+			}
+			if !strings.HasPrefix(d.msg, "can inline ") && !strings.HasPrefix(d.msg, "cannot inline ") &&
+				d.line >= span.nameLine && d.line <= span.endLine {
+				entry.Escapes = append(entry.Escapes, d.msg)
+			}
+			manifest[name] = entry
+		}
+	}
+	for name, entry := range manifest {
+		sort.Strings(entry.Escapes)
+		entry.Escapes = dedupSorted(entry.Escapes)
+		manifest[name] = entry
+	}
+	return manifest
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// absPath resolves p against the working directory, matching how the
+// loader's relative roots and the compiler's root-relative diagnostics
+// both end up absolute for comparison.
+func absPath(p string) string {
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return p
+	}
+	return abs
+}
+
+// HarvestEscapes compiles the packages holding m's //mpichv:noalloc
+// functions with -gcflags=-m=2 and distills the diagnostics into a fresh
+// manifest. The gcflags apply only to the named packages, and the compiler
+// re-emits diagnostics even on cache hits, so consecutive harvests of an
+// unchanged tree are byte-identical.
+func HarvestEscapes(m *Module) (EscapeManifest, error) {
+	pkgSet := make(map[string]bool)
+	for _, node := range m.Graph.Functions() {
+		if node.NoAlloc {
+			pkgSet[node.Pkg.Path] = true
+		}
+	}
+	if len(pkgSet) == 0 {
+		return EscapeManifest{}, nil
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=2"}, pkgs...)...)
+	cmd.Dir = m.Loader.Root()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m=2: %v\n%s", err, out)
+	}
+	return manifestFrom(m, absPath(m.Loader.Root()), parseCompilerDiags(string(out))), nil
+}
+
+// ManifestDiff is the comparison of a fresh harvest against the committed
+// manifest: regressions fail lint, any other drift rewrites the file.
+type ManifestDiff struct {
+	// Regressions are the hard failures: an annotated function that lost
+	// inlining or gained an escape relative to the committed manifest.
+	Regressions []string
+	// Changed reports any difference at all — improvements, newly
+	// annotated functions, removed annotations — which re-baselines the
+	// committed manifest.
+	Changed bool
+}
+
+// DiffManifests compares the committed manifest against a fresh harvest.
+func DiffManifests(old, cur EscapeManifest) ManifestDiff {
+	var d ManifestDiff
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		curEntry := cur[name]
+		oldEntry, ok := old[name]
+		if !ok {
+			d.Changed = true
+			continue
+		}
+		if oldEntry.Inline && !curEntry.Inline {
+			d.Regressions = append(d.Regressions, fmt.Sprintf("%s no longer inlines", name))
+		}
+		oldEscapes := make(map[string]bool, len(oldEntry.Escapes))
+		for _, e := range oldEntry.Escapes {
+			oldEscapes[e] = true
+		}
+		for _, e := range curEntry.Escapes {
+			if !oldEscapes[e] {
+				d.Regressions = append(d.Regressions, fmt.Sprintf("%s: new escape: %s", name, e))
+			}
+		}
+		if oldEntry.Inline != curEntry.Inline || !equalStrings(oldEntry.Escapes, curEntry.Escapes) {
+			d.Changed = true
+		}
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			d.Changed = true
+		}
+	}
+	return d
+}
+
+// equalStrings reports element-wise equality of two string slices.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Save writes the manifest as stable indented JSON: map keys serialize
+// sorted, so identical manifests are byte-identical files.
+func (em EscapeManifest) Save(path string) error {
+	// A function with no escape diagnostics has a nil Escapes slice;
+	// normalize so it serializes as [] rather than null.
+	norm := make(map[string]FuncEscape, len(em))
+	for name, entry := range em {
+		if entry.Escapes == nil {
+			entry.Escapes = []string{}
+		}
+		norm[name] = entry
+	}
+	data, err := json.MarshalIndent(norm, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadEscapeManifest reads a manifest written by Save. The boolean reports
+// whether the file existed; a missing manifest is how the first -escapes
+// run bootstraps HOTPATH.json.
+func LoadEscapeManifest(path string) (EscapeManifest, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return EscapeManifest{}, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var em EscapeManifest
+	if err := json.Unmarshal(data, &em); err != nil {
+		return nil, false, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	return em, true, nil
+}
+
+// EscapeGate harvests compiler diagnostics for m's annotated functions and
+// diffs them against the manifest at path. Regressions come back as
+// findings under pseudo-check "escapes" (positionless — the manifest
+// deliberately stores none); with no regressions, any drift rewrites the
+// manifest in place, and a missing manifest is written fresh.
+func EscapeGate(m *Module, path string) ([]Finding, error) {
+	cur, err := HarvestEscapes(m)
+	if err != nil {
+		return nil, err
+	}
+	old, existed, err := LoadEscapeManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	if !existed {
+		return nil, cur.Save(path)
+	}
+	diff := DiffManifests(old, cur)
+	if len(diff.Regressions) > 0 {
+		findings := make([]Finding, 0, len(diff.Regressions))
+		for _, r := range diff.Regressions {
+			findings = append(findings, Finding{
+				Check: "escapes",
+				Pos:   token.Position{Filename: path},
+				Msg:   r,
+			})
+		}
+		return findings, nil
+	}
+	if diff.Changed {
+		return nil, cur.Save(path)
+	}
+	return nil, nil
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseCompilerDiags feeds a canned -m=2 transcript through the parser
+// and pins what is kept (inline decisions, heap moves, leaking params,
+// escaping values) and what is dropped (flow traces, verbose headers,
+// non-escapes, build chatter).
+func TestParseCompilerDiags(t *testing.T) {
+	out := `# mpichv/internal/obs
+internal/obs/latency.go:31:6: can inline NewLatencyHist with cost 3 as: func() *LatencyHist { return &LatencyHist{} }
+internal/obs/latency.go:67:6: cannot inline (*LatencyHist).Quantile: function too complex: cost 106 exceeds budget 80
+internal/obs/latency.go:85:22: inlining call to bucketUpper
+internal/obs/latency.go:31:45: &LatencyHist{} escapes to heap:
+internal/obs/latency.go:31:45:   flow: ~r0 = &{storage for &LatencyHist{}}:
+internal/obs/latency.go:31:45:     from &LatencyHist{} (spill) at internal/obs/latency.go:31:45
+internal/obs/latency.go:31:45: &LatencyHist{} escapes to heap
+internal/obs/latency.go:39:7: h does not escape
+internal/obs/latency.go:40:7: parameter v leaks to {heap} with derefs=0:
+internal/obs/latency.go:40:7: leaking param: v
+internal/obs/latency.go:41:7: leaking param content: h
+internal/obs/latency.go:42:9: moved to heap: x
+internal/obs/latency.go:43:9: ignoring self-assignment in h.total = h.total
+not a diagnostic line
+`
+	got := parseCompilerDiags(out)
+	want := []escapeDiag{
+		{"internal/obs/latency.go", 31, "can inline NewLatencyHist with cost 3 as: func() *LatencyHist { return &LatencyHist{} }"},
+		{"internal/obs/latency.go", 67, "cannot inline (*LatencyHist).Quantile: function too complex: cost 106 exceeds budget 80"},
+		{"internal/obs/latency.go", 31, "&LatencyHist{} escapes to heap"},
+		{"internal/obs/latency.go", 40, "leaking param: v"},
+		{"internal/obs/latency.go", 41, "leaking param content: h"},
+		{"internal/obs/latency.go", 42, "moved to heap: x"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseCompilerDiags:\ngot  %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,156 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpichv/internal/analysis"
+)
+
+// TestDiffManifests pins the gate semantics: lost inlining and new escapes
+// are regressions; improvements, added and removed functions only mark the
+// manifest changed.
+func TestDiffManifests(t *testing.T) {
+	old := analysis.EscapeManifest{
+		"p.Stable":   {Inline: true, Escapes: []string{"leaking param: b"}},
+		"p.LostInl":  {Inline: true, Escapes: []string{}},
+		"p.NewEsc":   {Inline: false, Escapes: []string{}},
+		"p.Improved": {Inline: false, Escapes: []string{"moved to heap: x"}},
+		"p.Removed":  {Inline: true, Escapes: []string{}},
+	}
+	cur := analysis.EscapeManifest{
+		"p.Stable":   {Inline: true, Escapes: []string{"leaking param: b"}},
+		"p.LostInl":  {Inline: false, Escapes: []string{}},
+		"p.NewEsc":   {Inline: false, Escapes: []string{"moved to heap: y"}},
+		"p.Improved": {Inline: true, Escapes: []string{}},
+		"p.Added":    {Inline: true, Escapes: []string{}},
+	}
+	diff := analysis.DiffManifests(old, cur)
+	wantRegressions := []string{
+		"p.LostInl no longer inlines",
+		"p.NewEsc: new escape: moved to heap: y",
+	}
+	if !reflect.DeepEqual(diff.Regressions, wantRegressions) {
+		t.Errorf("regressions: got %v, want %v", diff.Regressions, wantRegressions)
+	}
+	if !diff.Changed {
+		t.Errorf("diff must report Changed (improvement, added and removed entries present)")
+	}
+
+	same := analysis.DiffManifests(cur, cur)
+	if len(same.Regressions) != 0 || same.Changed {
+		t.Errorf("self-diff must be empty, got %+v", same)
+	}
+}
+
+// TestManifestRoundtrip pins the on-disk format: Save is byte-
+// deterministic (sorted keys, trailing newline, nil escapes normalized to
+// []) and Load restores the same manifest.
+func TestManifestRoundtrip(t *testing.T) {
+	m := analysis.EscapeManifest{
+		"b.Fn": {Inline: true, Escapes: nil},
+		"a.Fn": {Inline: false, Escapes: []string{"leaking param: x", "moved to heap: y"}},
+	}
+	path := filepath.Join(t.TempDir(), "HOTPATH.json")
+	if err := m.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := m.Save(path); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("Save is not byte-deterministic:\n%s\nvs\n%s", first, second)
+	}
+	loaded, existed, err := analysis.LoadEscapeManifest(path)
+	if err != nil || !existed {
+		t.Fatalf("load: existed=%v err=%v", existed, err)
+	}
+	if !loaded["b.Fn"].Inline || len(loaded["b.Fn"].Escapes) != 0 {
+		t.Errorf("b.Fn roundtrip mismatch: %+v", loaded["b.Fn"])
+	}
+	if got := loaded["a.Fn"].Escapes; len(got) != 2 {
+		t.Errorf("a.Fn escapes roundtrip mismatch: %v", got)
+	}
+
+	missing, existed, err := analysis.LoadEscapeManifest(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || existed || len(missing) != 0 {
+		t.Errorf("missing manifest must load empty: %v existed=%v err=%v", missing, existed, err)
+	}
+}
+
+// TestHarvestEscapes runs the real compiler harvest over the fixture
+// module twice: the manifest must cover exactly the annotated functions
+// and be identical across consecutive runs (the byte-stability the
+// committed HOTPATH.json depends on).
+func TestHarvestEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harvest shells out to go build; skipped in -short")
+	}
+	m := loadFixtureModule(t)
+	first, err := analysis.HarvestEscapes(m)
+	if err != nil {
+		t.Fatalf("harvest: %v", err)
+	}
+	wantKeys := map[string]bool{"transfix.Root": true, "transfix.Allowed": true, "transfix.conflicted": true}
+	if len(first) != len(wantKeys) {
+		t.Fatalf("manifest keys: got %v, want %v", first, wantKeys)
+	}
+	for k := range wantKeys {
+		if _, ok := first[k]; !ok {
+			t.Errorf("manifest missing annotated function %s", k)
+		}
+	}
+	second, err := analysis.HarvestEscapes(m)
+	if err != nil {
+		t.Fatalf("second harvest: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("consecutive harvests differ:\n%v\nvs\n%v", first, second)
+	}
+}
+
+// TestEscapeGateBootstrap pins the gate's file lifecycle: a missing
+// manifest is written fresh with no findings, and an immediately repeated
+// run leaves it byte-identical with no findings.
+func TestEscapeGateBootstrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harvest shells out to go build; skipped in -short")
+	}
+	m := loadFixtureModule(t)
+	path := filepath.Join(t.TempDir(), "HOTPATH.json")
+	findings, err := analysis.EscapeGate(m, path)
+	if err != nil {
+		t.Fatalf("bootstrap gate: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("bootstrap must not report findings, got %v", findings)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bootstrap did not write the manifest: %v", err)
+	}
+	findings, err = analysis.EscapeGate(m, path)
+	if err != nil {
+		t.Fatalf("second gate: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unchanged tree must pass the gate, got %v", findings)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read after second gate: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("manifest not byte-stable across consecutive gate runs")
+	}
+}

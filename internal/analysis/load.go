@@ -82,6 +82,9 @@ func NewLoader(root string) (*Loader, error) {
 // Module returns the module path read from go.mod.
 func (l *Loader) Module() string { return l.module }
 
+// Root returns the module root directory the loader was created with.
+func (l *Loader) Root() string { return l.root }
+
 // PackageDirs walks the module and returns every directory (relative to
 // the root, "." for the root itself) holding at least one non-test Go
 // file. testdata, vendor and hidden directories are skipped — the same

@@ -70,12 +70,33 @@ func hasNoAllocDirective(fn *ast.FuncDecl) bool {
 // allocating construct.
 func checkNoAllocBody(pkg *Package, fn *ast.FuncDecl) []Finding {
 	var findings []Finding
-	flag := func(pos token.Pos, format string, args ...any) {
+	for _, site := range allocSites(pkg, fn) {
 		findings = append(findings, Finding{
 			Check: "noalloc",
-			Pos:   pkg.Fset.Position(pos),
-			Msg:   fmt.Sprintf("%s is annotated %s: ", fn.Name.Name, NoAllocDirective) + fmt.Sprintf(format, args...),
+			Pos:   pkg.Fset.Position(site.pos),
+			Msg:   fmt.Sprintf("%s is annotated %s: %s", fn.Name.Name, NoAllocDirective, site.msg),
 		})
+	}
+	return findings
+}
+
+// allocSite is one allocating construct found in a function body: the
+// position and a message naming the construct. The intra-procedural
+// noalloc check and the transitive module check share this scan and
+// differ only in how they attribute the site.
+type allocSite struct {
+	pos token.Pos
+	msg string
+}
+
+// allocSites scans one function body for allocating constructs: new,
+// make, heap-escaping or slice/map composite literals, unowned appends,
+// string concatenation and allocating conversions, fmt calls, closures,
+// and goroutine launches.
+func allocSites(pkg *Package, fn *ast.FuncDecl) []allocSite {
+	var sites []allocSite
+	flag := func(pos token.Pos, format string, args ...any) {
+		sites = append(sites, allocSite{pos: pos, msg: fmt.Sprintf(format, args...)})
 	}
 	parents := parentMap(fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -90,25 +111,21 @@ func checkNoAllocBody(pkg *Package, fn *ast.FuncDecl) []Finding {
 				flag(x.Pos(), "string concatenation allocates")
 			}
 		case *ast.CompositeLit:
-			findings = append(findings, checkCompositeLit(pkg, fn, parents, x)...)
+			sites = append(sites, compositeLitSites(pkg, parents, x)...)
 		case *ast.CallExpr:
-			findings = append(findings, checkCall(pkg, fn, parents, x)...)
+			sites = append(sites, callSites(pkg, parents, x)...)
 		}
 		return true
 	})
-	return findings
+	return sites
 }
 
-// checkCall classifies one call inside a noalloc body: builtin
+// callSites classifies one call inside a scanned body: builtin
 // allocators, unowned appends, allocating conversions and fmt calls.
-func checkCall(pkg *Package, fn *ast.FuncDecl, parents map[ast.Node]ast.Node, call *ast.CallExpr) []Finding {
-	var findings []Finding
+func callSites(pkg *Package, parents map[ast.Node]ast.Node, call *ast.CallExpr) []allocSite {
+	var sites []allocSite
 	flag := func(format string, args ...any) {
-		findings = append(findings, Finding{
-			Check: "noalloc",
-			Pos:   pkg.Fset.Position(call.Pos()),
-			Msg:   fmt.Sprintf("%s is annotated %s: ", fn.Name.Name, NoAllocDirective) + fmt.Sprintf(format, args...),
-		})
+		sites = append(sites, allocSite{pos: call.Pos(), msg: fmt.Sprintf(format, args...)})
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
@@ -122,7 +139,7 @@ func checkCall(pkg *Package, fn *ast.FuncDecl, parents map[ast.Node]ast.Node, ca
 					flag("append result is discarded or stored elsewhere: appending into an unowned slice allocates on growth without the owner seeing the new backing array")
 				}
 			}
-			return findings
+			return sites
 		}
 	}
 	// Conversions: string <-> []byte/[]rune and anything-to-string.
@@ -144,14 +161,14 @@ func checkCall(pkg *Package, fn *ast.FuncDecl, parents map[ast.Node]ast.Node, ca
 				}
 			}
 		}
-		return findings
+		return sites
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if f, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
 			flag("fmt.%s allocates (formatting is never free)", f.Name())
 		}
 	}
-	return findings
+	return sites
 }
 
 // appendIsOwned reports whether an append call's result is stored back
@@ -175,16 +192,12 @@ func appendIsOwned(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
 	return false
 }
 
-// checkCompositeLit flags heap-escaping (&T{...}) and slice/map composite
+// compositeLitSites flags heap-escaping (&T{...}) and slice/map composite
 // literals. Plain struct and array literals used as values are stack
 // copies and stay allowed.
-func checkCompositeLit(pkg *Package, fn *ast.FuncDecl, parents map[ast.Node]ast.Node, lit *ast.CompositeLit) []Finding {
-	flag := func(format string) []Finding {
-		return []Finding{{
-			Check: "noalloc",
-			Pos:   pkg.Fset.Position(lit.Pos()),
-			Msg:   fmt.Sprintf("%s is annotated %s: %s", fn.Name.Name, NoAllocDirective, format),
-		}}
+func compositeLitSites(pkg *Package, parents map[ast.Node]ast.Node, lit *ast.CompositeLit) []allocSite {
+	flag := func(msg string) []allocSite {
+		return []allocSite{{pos: lit.Pos(), msg: msg}}
 	}
 	if u, ok := parents[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
 		return flag("&composite-literal escapes to the heap")

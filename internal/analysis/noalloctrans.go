@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModuleCheck is one whole-module analyzer: unlike Check it sees every
+// package of the module at once, plus the call graph across them.
+type ModuleCheck interface {
+	// Name is the check's short identifier, as used in allow directives.
+	Name() string
+	// Desc is a one-line description for the multichecker's usage text.
+	Desc() string
+	// RunModule analyzes the whole module and returns its raw findings.
+	RunModule(m *Module) []Finding
+}
+
+// ModuleChecks returns the module-level checks in stable order.
+func ModuleChecks() []ModuleCheck {
+	return []ModuleCheck{NoAllocTrans{}}
+}
+
+// NoAllocTrans is the transitive (whole-module) twin of the noalloc check:
+// a //mpichv:noalloc-annotated function must not reach — through any chain
+// of module-internal calls, with interface and func-value calls resolved
+// conservatively to every type-compatible implementation — a function
+// containing an allocating construct, unless the chain passes through a
+// function that is itself annotated //mpichv:noalloc (verified at its own
+// root) or //mpichv:amortized <reason> (a deliberate grow/refill or
+// cold-path allocation boundary; the written reason is mandatory).
+//
+// Findings are reported at the offending construct and name the full call
+// chain from the annotated root, so the line CI points at is the line to
+// fix. Calls into the standard library are not traversed: the hot paths'
+// stdlib leaves (append-style binary codecs, math/bits) are covered by the
+// intra-procedural rules at the call site, and fmt is flagged there.
+//
+// Suppression works at two sites. An allow directive at the reported
+// construct drops that finding, like any other check. An allow directive
+// at a call site cuts that edge out of the traversal entirely — the escape
+// hatch for dynamic-dispatch imprecision, where a func-value invocation
+// whose real targets are closures would otherwise pull in every
+// same-signature function in the module.
+type NoAllocTrans struct{}
+
+// Name implements ModuleCheck.
+func (NoAllocTrans) Name() string { return "noalloctrans" }
+
+// Desc implements ModuleCheck.
+func (NoAllocTrans) Desc() string {
+	return "//mpichv:noalloc functions must not transitively reach allocating helpers (boundaries: //mpichv:noalloc, //mpichv:amortized <reason>)"
+}
+
+// RunModule implements ModuleCheck. Traversal is deterministic: roots in
+// position order, edges in source order; every module function is scanned
+// at most once, attributed to the first chain that reaches it.
+func (NoAllocTrans) RunModule(m *Module) []Finding {
+	var findings []Finding
+	visited := make(map[*FuncNode]bool)
+	cut := edgeCuts(m)
+
+	findings = append(findings, directiveFindings(m)...)
+
+	var walk func(node *FuncNode, chain []string)
+	walk = func(node *FuncNode, chain []string) {
+		for _, e := range node.Edges {
+			pos := node.Pkg.Fset.Position(e.Pos)
+			if cut[pos.Filename][pos.Line] {
+				continue
+			}
+			callee := m.Graph.NodeOf(e.To)
+			if callee == nil || callee.NoAlloc || callee.Amortized || visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			calleeChain := append(append([]string(nil), chain...), DisplayName(callee.Fn))
+			for _, site := range allocSites(callee.Pkg, callee.Decl) {
+				findings = append(findings, Finding{
+					Check: "noalloctrans",
+					Pos:   callee.Pkg.Fset.Position(site.pos),
+					Msg: fmt.Sprintf("%s: %s is reached from %s root %s via %s",
+						site.msg, DisplayName(callee.Fn), NoAllocDirective,
+						chain[0], strings.Join(calleeChain, " -> ")),
+				})
+			}
+			walk(callee, calleeChain)
+		}
+	}
+
+	for _, node := range m.Graph.Functions() {
+		if !node.NoAlloc {
+			continue
+		}
+		visited[node] = true
+		walk(node, []string{DisplayName(node.Fn)})
+	}
+	return findings
+}
+
+// edgeCuts collects the module's well-formed //lint:allow noalloctrans
+// directives as cut[filename][line] so the traversal can skip edges whose
+// call site the directive covers (its own line or the line below it).
+// Malformed directives are the driver's to report, not repeated here.
+func edgeCuts(m *Module) map[string]map[int]bool {
+	known := KnownChecks()
+	cut := make(map[string]map[int]bool)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ds, _ := parseDirectives(pkg, file, known)
+			for _, d := range ds {
+				if d.check != "noalloctrans" {
+					continue
+				}
+				name := pkg.Fset.Position(file.Pos()).Filename
+				if cut[name] == nil {
+					cut[name] = make(map[int]bool)
+				}
+				cut[name][d.line] = true
+				cut[name][d.line+1] = true
+			}
+		}
+	}
+	return cut
+}
+
+// directiveFindings validates the //mpichv:amortized grammar across the
+// module: the reason is mandatory, and a function cannot be both a
+// verified-noalloc root and an amortized allocation boundary.
+func directiveFindings(m *Module) []Finding {
+	var findings []Finding
+	for _, node := range m.Graph.Functions() {
+		if !node.Amortized {
+			continue
+		}
+		if node.Reason == "" {
+			findings = append(findings, Finding{
+				Check: DirectiveCheck,
+				Pos:   node.Pkg.Fset.Position(node.Decl.Pos()),
+				Msg: fmt.Sprintf("%s on %s carries no reason: every amortized boundary must say why its allocations stay off the steady-state path",
+					AmortizedDirective, DisplayName(node.Fn)),
+			})
+		}
+		if node.NoAlloc {
+			findings = append(findings, Finding{
+				Check: DirectiveCheck,
+				Pos:   node.Pkg.Fset.Position(node.Decl.Pos()),
+				Msg: fmt.Sprintf("%s is annotated both %s and %s: a function is either verified allocation-free or a deliberate allocation boundary, not both",
+					DisplayName(node.Fn), NoAllocDirective, AmortizedDirective),
+			})
+		}
+	}
+	return findings
+}

@@ -1,0 +1,100 @@
+// Package transfix is the bad-source fixture of the transitive noalloc
+// check: annotated roots reaching allocating helpers through static,
+// interface, func-value and cross-package call chains, plus the amortized
+// boundary, the edge-cut directive, and the finding-site allow.
+package transfix
+
+import "fixturemod/transdep"
+
+// Sink is the interface whose dynamic dispatch the conservative call
+// graph resolves to every module implementation.
+type Sink interface {
+	Emit(n int)
+}
+
+// SliceSink implements Sink with an allocating Emit.
+type SliceSink struct{ buf []int }
+
+// Emit allocates: interface resolution must surface it.
+func (s *SliceSink) Emit(n int) {
+	s.buf = make([]int, n)
+}
+
+// levelOne is the clean middle hop of the two-level chain.
+func levelOne(n int) int { return levelTwo(n) + 1 }
+
+// levelTwo is the allocating helper two levels below the annotated root:
+// the regression the intra-procedural check cannot see.
+func levelTwo(n int) int {
+	tmp := make([]int, n)
+	return len(tmp)
+}
+
+// grow is a deliberate amortized boundary: the traversal must not descend
+// into it.
+//
+//mpichv:amortized doubles the buffer; growth cost amortizes to zero over the steady state
+func grow(n int) []int { return make([]int, 2*n) }
+
+// badBoundary carries a reasonless amortized directive: itself a finding.
+//
+//mpichv:amortized
+func badBoundary() {}
+
+// conflicted carries both directives: itself a finding.
+//
+//mpichv:noalloc
+//mpichv:amortized covered twice
+func conflicted() {}
+
+// handler is the address-taken allocating function a func-value
+// invocation must resolve to.
+func handler(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// Handler exposes handler as a value so it is address-taken.
+var Handler = handler
+
+// counter exposes a method used as a value.
+type counter struct{ n int }
+
+// bump is the method-value target: clean, so it only adds an edge.
+func (c *counter) bump(n int) int {
+	c.n += n
+	return c.n
+}
+
+// Bump is a method value, making bump an address-taken func-value target.
+var Bump = (&counter{}).bump
+
+// cutTarget allocates, but its only incoming edge is cut by a directive.
+func cutTarget(n int) int { return len(make([]int, n)) }
+
+// Root is the annotated root every chain below starts from.
+//
+//mpichv:noalloc
+func Root(s Sink, f func(int) int, n int) int {
+	total := levelOne(n)
+	total += len(grow(n))
+	s.Emit(n)
+	total += f(n)
+	total += transdep.Helper(n)
+	//lint:allow noalloctrans this edge is certified by hand: the target's buffer is owned by the caller
+	total += cutTarget(n)
+	return total
+}
+
+// Allowed is a second root whose reached allocation is suppressed at the
+// finding site instead of the call site.
+//
+//mpichv:noalloc
+func Allowed(n int) int { return allowedHelper(n) }
+
+// allowedHelper carries a finding-site allow on its alloc line.
+func allowedHelper(n int) int {
+	//lint:allow noalloctrans scratch buffer measured alloc-free under the bench gate
+	s := make([]int, n)
+	return len(s)
+}

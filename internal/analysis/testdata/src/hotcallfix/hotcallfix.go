@@ -1,0 +1,42 @@
+// Package hotcallfix is the bad-source fixture of the hotcall check:
+// every dynamic-dispatch shape inside a //mpichv:noalloc function, the
+// accepted direct-call idioms, and site suppression.
+package hotcallfix
+
+// Doer is the interface whose dispatch the check flags.
+type Doer interface{ Do() }
+
+// Hooks carries a func-typed field.
+type Hooks struct{ OnDone func() }
+
+// impl is a concrete Doer.
+type impl struct{}
+
+// Do implements Doer without allocating.
+func (impl) Do() {}
+
+// concrete is a direct-call target: never flagged.
+func concrete() {}
+
+// Bad exercises every dynamic-dispatch shape the check must flag.
+//
+//mpichv:noalloc
+func Bad(d Doer, f func(), h Hooks) {
+	defer concrete()
+	d.Do()
+	f()
+	h.OnDone()
+	func() {}()
+	concrete()
+	impl{}.Do()
+}
+
+// Allowed shows call-site suppression with a reason.
+//
+//mpichv:noalloc
+func Allowed(f func()) {
+	f() //lint:allow hotcall invoked once per rare event, measured under the bench gate
+}
+
+// Unannotated is free to dispatch dynamically.
+func Unannotated(d Doer) { d.Do() }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"testing"
 	"time"
@@ -91,6 +92,14 @@ func New(label, sha string, short bool, results []Result) *Results {
 // Run executes the named benchmarks (all registered ones when names is
 // empty) through testing.Benchmark and returns their results in name order.
 // progress, when non-nil, is invoked before each benchmark.
+//
+// Each benchmark runs with the garbage collector disabled (a forced
+// collection between benchmarks bounds the footprint): a GC cycle flushes
+// the sync.Pool packet pools mid-measurement, and the refill allocations
+// land on whichever run the collector happened to interrupt — ±1 allocs/op
+// of scheduler noise that the zero-slack equality gate would report as a
+// hot-path regression. With collection pinned outside the measured window,
+// allocs/op is a pure function of the code under test.
 func Run(names []string, progress func(name string)) ([]Result, error) {
 	suite := Suite()
 	if len(names) == 0 {
@@ -105,10 +114,13 @@ func Run(names []string, progress func(name string)) ([]Result, error) {
 		if progress != nil {
 			progress(name)
 		}
+		runtime.GC()
+		gcPercent := debug.SetGCPercent(-1)
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			fn(b)
 		})
+		debug.SetGCPercent(gcPercent)
 		results = append(results, Result{
 			Name:        name,
 			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),

@@ -157,3 +157,121 @@ func TestRunMicroSuite(t *testing.T) {
 		t.Error("unknown benchmark name should error")
 	}
 }
+
+func TestRatchetGatesBeyondNoise(t *testing.T) {
+	best := results("best",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "hot", NsPerOp: 1000, AllocsPerOp: 0},
+		Result{Name: "steady", NsPerOp: 1000, AllocsPerOp: 4},
+	)
+	cur := results("cur",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "hot", NsPerOp: 1100, AllocsPerOp: 0},    // +10% > 5% noise
+		Result{Name: "steady", NsPerOp: 1030, AllocsPerOp: 4}, // +3%: inside the band
+	)
+	regs, improved := Ratchet(cur, best, 5)
+	if len(regs) != 1 || regs[0].Name != "hot" || regs[0].Metric != "ns/op" {
+		t.Fatalf("Ratchet = %v, want one ns/op regression on hot", regs)
+	}
+	if improved {
+		t.Error("a regressing run must not advance the ratchet")
+	}
+}
+
+func TestRatchetAdvancesOnImprovement(t *testing.T) {
+	best := results("best",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "hot", NsPerOp: 1000, AllocsPerOp: 4},
+	)
+	within := results("cur",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "hot", NsPerOp: 980, AllocsPerOp: 4}, // -2%: noise, not progress
+	)
+	if regs, improved := Ratchet(within, best, 5); len(regs) != 0 || improved {
+		t.Fatalf("within-noise run: regs=%v improved=%v, want clean and no advance", regs, improved)
+	}
+	faster := results("cur",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "hot", NsPerOp: 900, AllocsPerOp: 4}, // -10%: real progress
+	)
+	if regs, improved := Ratchet(faster, best, 5); len(regs) != 0 || !improved {
+		t.Fatalf("faster run: regs=%v improved=%v, want clean advance", regs, improved)
+	}
+	leaner := results("cur",
+		Result{Name: CalibName, NsPerOp: 100},
+		Result{Name: "hot", NsPerOp: 1000, AllocsPerOp: 2}, // fewer allocs
+	)
+	if regs, improved := Ratchet(leaner, best, 5); len(regs) != 0 || !improved {
+		t.Fatalf("leaner run: regs=%v improved=%v, want clean advance", regs, improved)
+	}
+}
+
+func TestRatchetMissingBenchmarkFails(t *testing.T) {
+	best := results("best",
+		Result{Name: "hot", NsPerOp: 1000},
+		Result{Name: "gone", NsPerOp: 500},
+	)
+	cur := results("cur", Result{Name: "hot", NsPerOp: 1000})
+	regs, improved := Ratchet(cur, best, 5)
+	if len(regs) != 1 || regs[0].Name != "gone" || regs[0].Metric != "missing" {
+		t.Fatalf("Ratchet = %v, want one missing regression on gone", regs)
+	}
+	if improved {
+		t.Error("a run with dropped benchmarks must not advance the ratchet")
+	}
+}
+
+func TestRatchetShortMismatchGatesAllocsOnly(t *testing.T) {
+	best := results("best",
+		Result{Name: "hot", NsPerOp: 1000, AllocsPerOp: 4},
+	)
+	cur := results("cur",
+		Result{Name: "hot", NsPerOp: 9000, AllocsPerOp: 0}, // 9x ns but -short vs full
+	)
+	cur.Short = true
+	regs, improved := Ratchet(cur, best, 5)
+	if len(regs) != 0 {
+		t.Fatalf("short-vs-full must not gate ns/op: %v", regs)
+	}
+	if improved {
+		t.Error("a -short run must never become the recorded full-length best")
+	}
+	cur.Results[0].AllocsPerOp = 7 // beyond allocSlack
+	if regs, _ := Ratchet(cur, best, 5); len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("alloc growth must gate regardless of mode: %v", regs)
+	}
+}
+
+func TestRatchetNewBenchmarkAdvances(t *testing.T) {
+	best := results("best", Result{Name: "hot", NsPerOp: 1000})
+	cur := results("cur",
+		Result{Name: "hot", NsPerOp: 1000},
+		Result{Name: "fresh", NsPerOp: 100},
+	)
+	regs, improved := Ratchet(cur, best, 5)
+	if len(regs) != 0 || !improved {
+		t.Fatalf("new benchmark: regs=%v improved=%v, want clean advance recording it", regs, improved)
+	}
+}
+
+func TestRatchetShortMismatchAllocWarmupWobble(t *testing.T) {
+	best := results("best",
+		Result{Name: "cell", NsPerOp: 8e6, AllocsPerOp: 75110},
+	)
+	cur := results("cur",
+		Result{Name: "cell", NsPerOp: 8e6, AllocsPerOp: 75236}, // +0.17%: short-run warmup amortization
+	)
+	cur.Short = true
+	if regs, _ := Ratchet(cur, best, 5); len(regs) != 0 {
+		t.Fatalf("cross-mode sub-noise alloc wobble must pass: %v", regs)
+	}
+	cur.Results[0].AllocsPerOp = 80000 // +6.5%: beyond the noise band
+	if regs, _ := Ratchet(cur, best, 5); len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("cross-mode alloc growth beyond the band must gate: %v", regs)
+	}
+	cur.Short = false // same mode: the tight absolute slack applies again
+	cur.Results[0].AllocsPerOp = 75236
+	if regs, _ := Ratchet(cur, best, 5); len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("same-mode alloc growth beyond the absolute slack must gate: %v", regs)
+	}
+}

@@ -61,6 +61,79 @@ func EqualAllocs(cur, base *Results, names []string) []Regression {
 	return regs
 }
 
+// Ratchet gates cur against the best recorded run: any benchmark worse
+// than best by more than noisePct percent in ns/op
+// (calibration-normalized, gated only when both runs used the same
+// measuring mode) or by more than allocSlack allocs/op is a regression,
+// and a benchmark present in best but missing from cur is a regression
+// too — a silently dropped benchmark must not pass. Between runs of
+// different measuring modes the absolute alloc slack is widened by the
+// relative noise band: a -short run amortizes pool warmup over far
+// fewer iterations and reads a fraction of a percent above any
+// full-length best on the macro cells, which is warmup arithmetic, not
+// a hot-path allocation. The boolean reports
+// an improvement worth recording: some benchmark beat best by more than
+// the noise band, dropped allocations, or appeared fresh, which is
+// cmd/bench's cue to rewrite the best file with this run. Improvements
+// are only reported when the modes match — a -short run must never
+// become the recorded best of a full-length trajectory. Because
+// regressions fail the run before any rewrite happens, the recorded best
+// can drift upward by at most the noise band while ratcheting
+// monotonically down on real improvements.
+func Ratchet(cur, best *Results, noisePct float64) ([]Regression, bool) {
+	gateNs := cur.Short == best.Short
+	speedup := 1.0 // cur-machine cycles per best-machine cycle
+	if cb, bb := cur.Get(CalibName), best.Get(CalibName); cb != nil && bb != nil && bb.NsPerOp > 0 {
+		speedup = cb.NsPerOp / bb.NsPerOp
+	}
+	var regs []Regression
+	improved := false
+	for i := range best.Results {
+		b := &best.Results[i]
+		if b.Name == CalibName {
+			continue
+		}
+		c := cur.Get(b.Name)
+		if c == nil {
+			regs = append(regs, Regression{Name: b.Name, Metric: "missing"})
+			continue
+		}
+		if gateNs && b.NsPerOp > 0 {
+			norm := c.NsPerOp / speedup
+			pct := (norm - b.NsPerOp) / b.NsPerOp * 100
+			if pct > noisePct {
+				regs = append(regs, Regression{Name: b.Name, Metric: "ns/op", Base: b.NsPerOp, Cur: norm, Pct: pct})
+			}
+			if pct < -noisePct {
+				improved = true
+			}
+		}
+		if delta := c.AllocsPerOp - b.AllocsPerOp; delta > allocSlack {
+			pct := 100.0 * float64(delta)
+			if b.AllocsPerOp > 0 {
+				pct = float64(delta) / float64(b.AllocsPerOp) * 100
+			}
+			if gateNs || pct > noisePct {
+				regs = append(regs, Regression{
+					Name: b.Name, Metric: "allocs/op",
+					Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp), Pct: pct,
+				})
+			}
+		} else if c.AllocsPerOp < b.AllocsPerOp {
+			improved = true
+		}
+	}
+	for i := range cur.Results {
+		if c := &cur.Results[i]; c.Name != CalibName && best.Get(c.Name) == nil {
+			improved = true // newly curated benchmark: record it
+		}
+	}
+	if !gateNs {
+		improved = false
+	}
+	return regs, improved
+}
+
 // Compare reports every benchmark present in both runs whose ns/op
 // (calibration-normalized) or allocs/op regressed by more than thresholdPct
 // percent. Benchmarks only present on one side are ignored: adding or

@@ -98,6 +98,8 @@ func newGraph(self event.Rank, np int) *graph {
 const slabBlock = 256
 
 // alloc returns a node holding d, from the free list or the arena.
+//
+//mpichv:amortized slab refill: one make per slabBlock nodes, recycled through the free list thereafter
 func (g *graph) alloc(d event.Determinant) *gnode {
 	if k := len(g.free); k > 0 {
 		n := g.free[k-1]
@@ -181,6 +183,8 @@ func (g *graph) latest(c event.Rank) *gnode {
 // vcOf returns the vector clock (causal past) of n, computing and caching it
 // on demand. The computation walks antecedence edges iteratively so chains
 // of any length cannot overflow the Go stack.
+//
+//mpichv:amortized each node's vector clock is computed once, cached on the node, and recycled through vecFree
 func (g *graph) vcOf(n *gnode) []uint64 {
 	if n.vc != nil {
 		return n.vc

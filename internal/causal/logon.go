@@ -91,6 +91,7 @@ func (l *LogOn) orderedFrontier(dst event.Rank) ([]*gnode, int64) {
 	// Stable sort: ancestors (strictly smaller Lamport value) come first;
 	// ties keep factored order, which is fine because equal-Lamport events
 	// are causally unordered.
+	//lint:allow noalloctrans the comparator captures nothing, so the compiler builds it once as a static value
 	slices.SortStableFunc(nodes, func(a, b *gnode) int {
 		switch {
 		case a.d.Lamport < b.d.Lamport:

@@ -180,5 +180,6 @@ func (p *Proc) Finished() bool { return p.finished }
 // returns a function that deregisters the hook (called on normal wakeup).
 func (p *Proc) addKillHook(f func()) (remove func()) {
 	p.onKill = f
+	//lint:allow noalloctrans the deregister closure is built only when a receive parks; the drained steady path never blocks
 	return func() { p.onKill = nil }
 }

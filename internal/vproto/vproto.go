@@ -150,6 +150,8 @@ type Packet struct {
 // storage (no slice allocation). Receivers must copy determinants out
 // before the packet is released, which every consumer in this codebase
 // already does.
+//
+//mpichv:noalloc
 func (p *Packet) SetDeterminant(d event.Determinant) {
 	p.det[0] = d
 	p.Determinants = p.det[:1]
@@ -160,8 +162,11 @@ func (p *Packet) SetDeterminant(d event.Determinant) {
 // consumers do not retain StableVec past packet processing (PktEventAck and
 // PktELSync); recovery responses (PktEventQueryResp) are retained by the
 // recovering node and must carry freshly allocated vectors.
+//
+//mpichv:noalloc
 func (p *Packet) AckVec(n int) []uint64 {
 	if cap(p.vecbuf) < n {
+		//lint:allow noalloc vecbuf grows to the cluster width once per packet shell and is reused for every later ack
 		p.vecbuf = make([]uint64, n)
 	}
 	p.StableVec = p.vecbuf[:n]
@@ -176,12 +181,16 @@ var packetPool = sync.Pool{New: func() any { return new(Packet) }}
 
 // GetPacket returns a zeroed packet from the pool. Senders fill it and hand
 // it to exactly one endpoint; the final consumer calls PutPacket.
+//
+//mpichv:amortized pool refill: sync.Pool allocates a shell only when the pool is empty; steady traffic recycles
 func GetPacket() *Packet { return packetPool.Get().(*Packet) }
 
 // PutPacket resets p and returns it to the pool. Retained payloads (App
 // messages, checkpoint images, recovery stable vectors) live on with their
 // retainers; only the shell and its inline scratch are recycled. Callers
 // must be the packet's single terminal consumer.
+//
+//mpichv:noalloc
 func PutPacket(p *Packet) {
 	if p == nil {
 		return
