@@ -34,15 +34,27 @@ func Suite() map[string]func(b *testing.B) {
 		"reducer/vcausal":     reducerBench("vcausal"),
 		"reducer/manetho":     reducerBench("manetho"),
 		"reducer/logon":       reducerBench("logon"),
-		"vproto/enc-factored": benchEncodeFactored,
-		"vproto/enc-flat":     benchEncodeFlat,
-		"daemon/replay-serve": benchReplayServe,
-		"cell/vdummy":         cellBench(cluster.Config{NP: 4, Stack: cluster.StackVdummy}),
-		"cell/pessimistic":    cellBench(cluster.Config{NP: 4, Stack: cluster.StackPessimistic}),
-		"cell/vcausal-el":     cellBench(cluster.Config{NP: 4, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}),
-		"cell/coordinated":    cellBench(cluster.Config{NP: 4, Stack: cluster.StackCoordinated}),
-		"cell/storm-recovery": benchStormRecovery,
-		"sweep/fig7-small":    benchSweepFig7Small,
+		// The -np256 variants run the same steady-state cycle in a 256-rank
+		// world with 15 active creators: cost must track the active set, not
+		// the world size (interval-coded sparse state).
+		"reducer/vcausal-np256": reducerBenchAt("vcausal", 256, 15),
+		"reducer/manetho-np256": reducerBenchAt("manetho", 256, 15),
+		"reducer/logon-np256":   reducerBenchAt("logon", 256, 15),
+		"vproto/enc-factored":   benchEncodeFactored,
+		"vproto/enc-flat":       benchEncodeFlat,
+		"daemon/replay-serve":   benchReplayServe,
+		"cell/vdummy":           cellBench(cluster.Config{NP: 4, Stack: cluster.StackVdummy}, 1),
+		"cell/pessimistic":      cellBench(cluster.Config{NP: 4, Stack: cluster.StackPessimistic}, 1),
+		"cell/vcausal-el":       cellBench(cluster.Config{NP: 4, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}, 1),
+		// NP scaling gates: both cells run the same total message volume
+		// (iterations scale inversely with NP), so allocs/op at NP 64 must
+		// stay within 2x of NP 16 — world size must not leak into the
+		// per-message allocation profile (sparse causality state).
+		"cell/vcausal-el-np16": cellBench(cluster.Config{NP: 16, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}, 4),
+		"cell/vcausal-el-np64": cellBench(cluster.Config{NP: 64, Stack: cluster.StackVcausal, Reducer: "manetho", UseEL: true}, 1),
+		"cell/coordinated":     cellBench(cluster.Config{NP: 4, Stack: cluster.StackCoordinated}, 1),
+		"cell/storm-recovery":  benchStormRecovery,
+		"sweep/fig7-small":     benchSweepFig7Small,
 	}
 }
 
@@ -131,11 +143,17 @@ func benchNetSend(b *testing.B) {
 // reducer exactly as the daemon drives it: merge-free AddLocal, then an
 // emission into a recycled buffer.
 func reducerBench(name string) func(b *testing.B) {
+	return reducerBenchAt(name, 16, 15)
+}
+
+// reducerBenchAt is reducerBench in a world of np ranks with the given
+// number of active creators (ranks 1..active); the remaining ranks never
+// appear, so a sparse reducer's per-op cost must not grow with np.
+func reducerBenchAt(name string, np, active int) func(b *testing.B) {
 	return func(b *testing.B) {
-		const np = 16
 		r := causal.New(name, 0, np)
 		// Pre-populate with a realistic held set.
-		for c := 1; c < np; c++ {
+		for c := 1; c <= active; c++ {
 			var ds []event.Determinant
 			for k := uint64(1); k <= 64; k++ {
 				ds = append(ds, event.Determinant{
@@ -155,7 +173,7 @@ func reducerBench(name string) func(b *testing.B) {
 				ID:     event.EventID{Creator: 0, Clock: clock},
 				Sender: 1, SendSeq: clock, Lamport: clock,
 			})
-			buf, _ = r.AppendPiggybackFor(event.Rank(1+i%(np-1)), buf[:0])
+			buf, _ = r.AppendPiggybackFor(event.Rank(1+i%active), buf[:0])
 			_ = r.PiggybackBytes(buf)
 		}
 	}
@@ -256,10 +274,10 @@ func benchReplayServe(b *testing.B) {
 // cells feed the zero-slack allocs/op equality gate, and a one-time fill
 // amortized over the iteration count would otherwise flip the reported
 // per-op allocs by ±1 between runs.
-func cellBench(cfg cluster.Config) func(b *testing.B) {
+func cellBench(cfg cluster.Config, iterScale int) func(b *testing.B) {
 	return func(b *testing.B) {
 		runCell := func() {
-			in := workload.Build(workload.Spec{Bench: "cg", Class: "A", NP: cfg.NP})
+			in := workload.Build(workload.Spec{Bench: "cg", Class: "A", NP: cfg.NP, IterScale: iterScale})
 			c := cluster.New(cfg)
 			c.Run(in.Programs, harness.DefaultMaxVirtual).MustCompleted()
 		}

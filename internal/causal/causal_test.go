@@ -3,6 +3,7 @@ package causal
 import (
 	"testing"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -123,7 +124,7 @@ func TestStableEventsAreGarbageCollected(t *testing.T) {
 		if r.Held() != 10 {
 			t.Fatalf("%s: held = %d, want 10", name, r.Held())
 		}
-		r.Stable([]uint64{7, 0, 0})
+		r.Stable(stableVec(7, 0, 0))
 		if r.Held() != 3 {
 			t.Errorf("%s: held = %d after Stable(7), want 3", name, r.Held())
 		}
@@ -145,8 +146,8 @@ func TestStableIsMonotonic(t *testing.T) {
 		for clk := uint64(1); clk <= 5; clk++ {
 			r.AddLocal(event.Determinant{ID: event.EventID{Creator: 0, Clock: clk}, Sender: 1, SendSeq: clk})
 		}
-		r.Stable([]uint64{4, 0})
-		r.Stable([]uint64{2, 0}) // stale ack must not resurrect anything
+		r.Stable(stableVec(4, 0))
+		r.Stable(stableVec(2, 0)) // stale ack must not resurrect anything
 		if r.Held() != 1 {
 			t.Errorf("%s: held = %d after stale ack, want 1", name, r.Held())
 		}
@@ -250,4 +251,14 @@ func TestUnknownReducerPanics(t *testing.T) {
 		}
 	}()
 	New("bogus", 0, 2)
+}
+
+// stableVec builds an interval-coded stable vector from a dense value list
+// (test shorthand: index = creator, value = clock floor).
+func stableVec(vals ...uint64) *sparsevec.Vec {
+	v := sparsevec.New(len(vals))
+	for c, f := range vals {
+		v.SetMax(c, f)
+	}
+	return v
 }

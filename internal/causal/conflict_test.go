@@ -82,7 +82,7 @@ func TestConflictBelowStabilityHorizonUndetectable(t *testing.T) {
 	for _, name := range Names() {
 		r := New(name, 0, 4)
 		r.Merge(2, []event.Determinant{det(2, 1, 3, 1)})
-		r.Stable([]uint64{0, 0, 1, 0})
+		r.Stable(stableVec(0, 0, 1, 0))
 		r.Merge(1, []event.Determinant{det(2, 1, 1, 8)}) // would conflict if held
 		if _, _, ok := r.TakeIDConflict(); ok {
 			t.Fatalf("%s: latched a conflict against a collected determinant", name)

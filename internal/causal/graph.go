@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -22,21 +23,28 @@ import (
 // queried, to infer what that destination already knows — the paper's
 // "crossing this graph allows to better estimate the events already known
 // by a receiver").
+//
+// All per-rank state is sparse: chains and per-peer knowledge live in
+// rankTable rows, clock floors and vector clocks are interval-coded
+// sparsevec.Vec values, and node lookup by event ID is a binary search on
+// the creator's chain (the chains are clock-ordered, so no side index is
+// needed). Host cost tracks active creators; the *op counts* the reducers
+// charge are computed arithmetically over the world size, exactly as the
+// dense implementation charged them.
 type graph struct {
 	self event.Rank
 	np   int
 
-	// chains[c] holds the live nodes created by rank c in clock order
-	// (a contiguous suffix above the stability horizon).
-	chains [][]*gnode
-	index  map[event.EventID]*gnode
+	// chains holds, per active creator, the live nodes of that creator in
+	// clock order (a contiguous suffix above the stability horizon).
+	chains rankTable[[]*gnode]
 
-	// knownBy[p][c]: highest clock of c's events that peer p is known to
-	// hold, from direct exchanges (the antecedence inference is applied on
+	// knownBy holds, per active peer, the floors of what that peer is known
+	// to hold from direct exchanges (the antecedence inference is applied on
 	// top of this at send time).
-	knownBy  [][]uint64
-	lastHeld []uint64
-	stable   []uint64
+	knownBy  rankTable[*sparsevec.Vec]
+	lastHeld *sparsevec.Vec
+	stable   *sparsevec.Vec
 
 	// conflict latches determinant-ID conflicts found by insert (the
 	// owning reducer exposes it through TakeIDConflict).
@@ -54,22 +62,24 @@ type graph struct {
 	// reusable scratch buffers suffice:
 	//   slab/slabOff  block-allocates gnodes (pointer-stable arena);
 	//   free          recycles nodes collected by gc;
-	//   vecFree       recycles vector-clock arrays of collected nodes;
+	//   vecFree       recycles vector clocks of collected nodes;
 	//   knownScratch  backs knowledgeOf's per-send knowledge vector;
-	//   frontScratch  backs frontier's result (valid until the next call).
+	//   frontScratch  backs frontier's result (valid until the next call);
+	//   vcStack       backs vcOf's iterative dependency walk.
 	slab         []gnode
 	slabOff      int
 	free         []*gnode
-	vecFree      [][]uint64
-	knownScratch []uint64
+	vecFree      []*sparsevec.Vec
+	knownScratch *sparsevec.Vec
 	frontScratch []*gnode
+	vcStack      []*gnode
 }
 
 // gnode is one antecedence-graph vertex.
 type gnode struct {
 	d event.Determinant
 	// vc is the lazily computed causal past of the node (nil until needed).
-	vc []uint64
+	vc *sparsevec.Vec
 	// visiting marks a node whose vc computation is in flight on vcOf's
 	// explicit stack; revisiting one means the antecedence edges form a
 	// cycle — corrupted causality, not a legal graph state.
@@ -77,20 +87,13 @@ type gnode struct {
 }
 
 func newGraph(self event.Rank, np int) *graph {
-	g := &graph{
-		self:     self,
-		np:       np,
-		chains:   make([][]*gnode, np),
-		index:    make(map[event.EventID]*gnode),
-		knownBy:  make([][]uint64, np),
-		lastHeld: make([]uint64, np),
-		stable:   make([]uint64, np),
+	return &graph{
+		self:         self,
+		np:           np,
+		lastHeld:     sparsevec.New(np),
+		stable:       sparsevec.New(np),
+		knownScratch: sparsevec.New(np),
 	}
-	for i := range g.knownBy {
-		g.knownBy[i] = make([]uint64, np)
-	}
-	g.knownScratch = make([]uint64, np)
-	return g
 }
 
 // slabBlock is the gnode arena granularity: large enough to amortize the
@@ -118,9 +121,9 @@ func (g *graph) alloc(d event.Determinant) *gnode {
 }
 
 // release recycles a node removed from the graph, salvaging its vector
-// clock array for the next vcOf computation. The visiting flag is cleared
-// here so a recycled node can never leak an in-flight mark into a later
-// vcOf walk (which would misread it as an antecedence cycle).
+// clock for the next vcOf computation. The visiting flag is cleared here so
+// a recycled node can never leak an in-flight mark into a later vcOf walk
+// (which would misread it as an antecedence cycle).
 func (g *graph) release(n *gnode) {
 	if n.vc != nil {
 		g.vecFree = append(g.vecFree, n.vc)
@@ -131,15 +134,40 @@ func (g *graph) release(n *gnode) {
 	g.free = append(g.free, n)
 }
 
-// newVec returns a zeroed np-length vector clock, recycled when possible.
-func (g *graph) newVec() []uint64 {
+// newVec returns an empty np-world vector clock, recycled when possible.
+func (g *graph) newVec() *sparsevec.Vec {
 	if k := len(g.vecFree); k > 0 {
 		vc := g.vecFree[k-1]
 		g.vecFree = g.vecFree[:k-1]
-		clear(vc)
+		vc.Reset(g.np)
 		return vc
 	}
-	return make([]uint64, g.np)
+	return sparsevec.New(g.np)
+}
+
+// lookup returns the held node with the given event ID, or nil. The
+// creator's chain is clock-ordered (with possible gaps), so the node is
+// found by binary search — the chains themselves are the index.
+//
+//mpichv:noalloc
+func (g *graph) lookup(id event.EventID) *gnode {
+	chain, ok := g.chains.lookup(id.Creator)
+	if !ok || len(chain) == 0 {
+		return nil
+	}
+	lo, hi := 0, len(chain)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if chain[mid].d.ID.Clock < id.Clock {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(chain) && chain[lo].d.ID == id {
+		return chain[lo]
+	}
+	return nil
 }
 
 // insert adds d to the graph if it is neither held nor stable. The returned
@@ -147,23 +175,23 @@ func (g *graph) newVec() []uint64 {
 // by their protocol's per-event factor.
 func (g *graph) insert(d event.Determinant) (inserted bool, ops int64) {
 	c := d.ID.Creator
-	if d.ID.Clock <= g.lastHeld[c] || d.ID.Clock <= g.stable[c] {
+	if d.ID.Clock <= g.lastHeld.Get(int(c)) || d.ID.Clock <= g.stable.Get(int(c)) {
 		// Duplicate or already stable. A copy still in the graph is
 		// compared against the incoming content: a mismatch means the
 		// creator re-created this ID after a regressed recovery — caught
 		// here, at merge time, before the aliased antecedence edges can
 		// close a cycle (see TakeIDConflict).
 		if g.conflict != nil {
-			if held := g.index[d.ID]; held != nil && conflicts(held.d, d) {
+			if held := g.lookup(d.ID); held != nil && conflicts(held.d, d) {
 				g.conflict.latch(held.d, d)
 			}
 		}
 		return false, 1
 	}
 	n := g.alloc(d)
-	g.chains[c] = append(g.chains[c], n)
-	g.index[d.ID] = n
-	g.lastHeld[c] = d.ID.Clock
+	chain := g.chains.row(c)
+	*chain = append(*chain, n)
+	g.lastHeld.SetMax(int(c), d.ID.Clock)
 	g.held++
 	if c == g.self {
 		g.headOwn = n
@@ -173,7 +201,7 @@ func (g *graph) insert(d event.Determinant) (inserted bool, ops int64) {
 
 // latest returns the newest held node created by rank c, or nil.
 func (g *graph) latest(c event.Rank) *gnode {
-	chain := g.chains[c]
+	chain, _ := g.chains.lookup(c)
 	if len(chain) == 0 {
 		return nil
 	}
@@ -185,12 +213,12 @@ func (g *graph) latest(c event.Rank) *gnode {
 // of any length cannot overflow the Go stack.
 //
 //mpichv:amortized each node's vector clock is computed once, cached on the node, and recycled through vecFree
-func (g *graph) vcOf(n *gnode) []uint64 {
+func (g *graph) vcOf(n *gnode) *sparsevec.Vec {
 	if n.vc != nil {
 		return n.vc
 	}
 	n.visiting = true
-	stack := []*gnode{n}
+	stack := append(g.vcStack[:0], n)
 	// Dependency pushes guard against antecedence cycles: a legal causal
 	// graph is a DAG, but determinant IDs re-created by an incarnation
 	// that restored regressed state (an undetected determinant loss under
@@ -204,10 +232,10 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		chainPred := g.index[event.EventID{Creator: cur.d.ID.Creator, Clock: cur.d.ID.Clock - 1}]
+		chainPred := g.lookup(event.EventID{Creator: cur.d.ID.Creator, Clock: cur.d.ID.Clock - 1})
 		var parent *gnode
 		if !cur.d.Parent.Zero() {
-			parent = g.index[cur.d.Parent]
+			parent = g.lookup(cur.d.Parent)
 		}
 		if chainPred != nil && chainPred.vc == nil {
 			if chainPred.visiting {
@@ -227,27 +255,23 @@ func (g *graph) vcOf(n *gnode) []uint64 {
 		}
 		vc := g.newVec()
 		if chainPred != nil {
-			copy(vc, chainPred.vc)
+			vc.CopyFrom(chainPred.vc)
 		}
 		if parent != nil {
-			for i, v := range parent.vc {
-				if v > vc[i] {
-					vc[i] = v
-				}
-			}
+			vc.MaxFrom(parent.vc)
 		} else if !cur.d.Parent.Zero() {
 			// Parent was garbage collected (stable) or never held: the only
 			// safe knowledge it contributes is its own identity.
-			pc := cur.d.Parent.Creator
-			if cur.d.Parent.Clock > vc[pc] {
-				vc[pc] = cur.d.Parent.Clock
-			}
+			vc.SetMax(int(cur.d.Parent.Creator), cur.d.Parent.Clock)
 		}
-		vc[cur.d.ID.Creator] = cur.d.ID.Clock
+		// The node's own entry: always above anything its antecedents know
+		// of this creator (an event cannot be in its own causal past).
+		vc.SetMax(int(cur.d.ID.Creator), cur.d.ID.Clock)
 		cur.vc = vc
 		cur.visiting = false
 		stack = stack[:len(stack)-1]
 	}
+	g.vcStack = stack[:0]
 	return n.vc
 }
 
@@ -262,39 +286,55 @@ func antecedenceCycle(n *gnode) string {
 // the antecedence inference — the causal past of dst's latest event held
 // locally. Entry dst is infinite: a process knows its own events. The
 // returned vector is scratch, valid until the next call.
-func (g *graph) knowledgeOf(dst event.Rank) []uint64 {
+func (g *graph) knowledgeOf(dst event.Rank) *sparsevec.Vec {
 	known := g.knownScratch
-	copy(known, g.knownBy[dst])
-	for c := range known {
-		if g.stable[c] > known[c] {
-			known[c] = g.stable[c]
-		}
+	if kb, ok := g.knownBy.lookup(dst); ok && kb != nil {
+		known.CopyFrom(kb)
+	} else {
+		known.Reset(g.np)
 	}
+	known.MaxFrom(g.stable)
 	if latest := g.latest(dst); latest != nil {
-		for c, v := range g.vcOf(latest) {
-			if v > known[c] {
-				known[c] = v
-			}
-		}
+		known.MaxFrom(g.vcOf(latest))
 	}
-	known[dst] = math.MaxUint64
+	known.SetMax(int(dst), math.MaxUint64)
 	return known
+}
+
+// knownVec returns dst's direct-exchange knowledge floors, creating them on
+// first contact.
+//
+//mpichv:amortized one vector allocation per newly active peer, reused for the rest of the run
+func (g *graph) knownVec(dst event.Rank) *sparsevec.Vec {
+	known := g.knownBy.row(dst)
+	if *known == nil {
+		*known = sparsevec.New(g.np)
+	}
+	return *known
 }
 
 // frontier returns the held determinants above dst's inferred knowledge, in
 // factored order (grouped by creator, clocks ascending), along with the
-// number of creator chains probed. It commits the result to knownBy[dst].
-// The returned slice is scratch, valid until the next frontier call.
+// number of creator chains the cost model probes (one per world rank — the
+// sparse walk only visits active chains, the probe count is arithmetic).
+// It commits the result to knownBy[dst]. The returned slice is scratch,
+// valid until the next frontier call.
 func (g *graph) frontier(dst event.Rank) (out []*gnode, creators int64) {
 	out = g.frontScratch[:0]
 	known := g.knowledgeOf(dst)
-	for c := 0; c < g.np; c++ {
-		chain := g.chains[c]
-		creators++
-		if len(chain) == 0 || event.Rank(c) == dst {
+	creators = int64(g.np)
+	var kb *sparsevec.Vec
+	for i, key := range g.chains.keys {
+		chain := g.chains.rows[i]
+		if len(chain) == 0 || event.Rank(key) == dst {
 			continue
 		}
-		threshold := known[c]
+		threshold := known.Get(int(key))
+		// Steady state: the whole chain already known — one tail comparison
+		// instead of a binary search.
+		if chain[len(chain)-1].d.ID.Clock <= threshold {
+			continue
+		}
 		lo, hi := 0, len(chain)
 		for lo < hi {
 			mid := (lo + hi) / 2
@@ -304,36 +344,47 @@ func (g *graph) frontier(dst event.Rank) (out []*gnode, creators int64) {
 				lo = mid + 1
 			}
 		}
-		if lo < len(chain) {
-			out = append(out, chain[lo:]...)
-			g.knownBy[dst][c] = chain[len(chain)-1].d.ID.Clock
+		out = append(out, chain[lo:]...)
+		if kb == nil {
+			kb = g.knownVec(dst)
 		}
+		kb.SetMax(int(key), chain[len(chain)-1].d.ID.Clock)
 	}
 	g.frontScratch = out[:0]
 	return out, creators
 }
 
 // mergeLearn updates direct-exchange knowledge after receiving ds from src.
+//
+//mpichv:noalloc
 func (g *graph) mergeLearn(src event.Rank, ds []event.Determinant) {
+	if len(ds) == 0 {
+		return
+	}
+	known := g.knownVec(src)
 	for _, d := range ds {
-		if d.ID.Clock > g.knownBy[src][d.ID.Creator] {
-			g.knownBy[src][d.ID.Creator] = d.ID.Clock
-		}
+		known.SetMax(int(d.ID.Creator), d.ID.Clock)
 	}
 }
 
 // gc removes nodes at or below the acknowledged vector.
-func (g *graph) gc(vec []uint64) int64 {
+func (g *graph) gc(vec *sparsevec.Vec) int64 {
+	if vec == nil {
+		return 0
+	}
 	ops := int64(0)
-	for c := 0; c < g.np && c < len(vec); c++ {
-		if vec[c] <= g.stable[c] {
-			continue
+	vec.Range(func(c int, f uint64) bool {
+		if f <= g.stable.Get(c) {
+			return true
 		}
-		g.stable[c] = vec[c]
-		chain := g.chains[c]
+		g.stable.SetMax(c, f)
+		i, ok := g.chains.search(event.Rank(c))
+		if !ok {
+			return true
+		}
+		chain := g.chains.rows[i]
 		cut := 0
-		for cut < len(chain) && chain[cut].d.ID.Clock <= vec[c] {
-			delete(g.index, chain[cut].d.ID)
+		for cut < len(chain) && chain[cut].d.ID.Clock <= f {
 			g.release(chain[cut])
 			cut++
 		}
@@ -342,26 +393,25 @@ func (g *graph) gc(vec []uint64) int64 {
 			// appends, and the vacated tail is cleared so released nodes
 			// are not pinned.
 			kept := copy(chain, chain[cut:])
-			for i := kept; i < len(chain); i++ {
-				chain[i] = nil
+			for j := kept; j < len(chain); j++ {
+				chain[j] = nil
 			}
-			g.chains[c] = chain[:kept]
+			g.chains.rows[i] = chain[:kept]
 			g.held -= cut
 			ops += int64(cut)
 		}
-	}
+		return true
+	})
 	// The local head may have been collected; recovery still needs a root
 	// for frontier computation, so keep headOwn only if it is still live.
-	if g.headOwn != nil {
-		if _, ok := g.index[g.headOwn.d.ID]; !ok {
-			g.headOwn = g.latest(g.self)
-		}
+	if g.headOwn != nil && g.lookup(g.headOwn.d.ID) != g.headOwn {
+		g.headOwn = g.latest(g.self)
 	}
 	return ops
 }
 
 func (g *graph) heldFor(creator event.Rank) []event.Determinant {
-	chain := g.chains[creator]
+	chain, _ := g.chains.lookup(creator)
 	out := make([]event.Determinant, len(chain))
 	for i, n := range chain {
 		out[i] = n.d
@@ -371,8 +421,8 @@ func (g *graph) heldFor(creator event.Rank) []event.Determinant {
 
 func (g *graph) all() []event.Determinant {
 	out := make([]event.Determinant, 0, g.held)
-	for c := range g.chains {
-		for _, n := range g.chains[c] {
+	for i := range g.chains.keys {
+		for _, n := range g.chains.rows[i] {
 			out = append(out, n.d)
 		}
 	}

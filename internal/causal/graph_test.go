@@ -56,14 +56,14 @@ func TestGraphVectorClockMatchesGroundTruth(t *testing.T) {
 		}
 		// Every node's lazily computed vector clock must equal ground truth.
 		for id, want := range truth {
-			n := g.index[id]
+			n := g.lookup(id)
 			if n == nil {
 				t.Fatalf("trial %d: node %v missing", trial, id)
 			}
 			got := g.vcOf(n)
 			for c := 0; c < np; c++ {
-				if got[c] != want[c] {
-					t.Fatalf("trial %d: vc(%v)[%d] = %d, want %d", trial, id, c, got[c], want[c])
+				if got.Get(c) != want[c] {
+					t.Fatalf("trial %d: vc(%v)[%d] = %d, want %d", trial, id, c, got.Get(c), want[c])
 				}
 			}
 		}
@@ -82,31 +82,31 @@ func TestGraphGCKeepsSuffixesIntact(t *testing.T) {
 			})
 		}
 	}
-	g.gc([]uint64{5, 20, 0, 13})
+	g.gc(stableVec(5, 20, 0, 13))
 	wantHeld := 15 + 0 + 20 + 7
 	if g.held != wantHeld {
 		t.Fatalf("held = %d, want %d", g.held, wantHeld)
 	}
 	for c := 0; c < np; c++ {
-		chain := g.chains[c]
+		chain, _ := g.chains.lookup(event.Rank(c))
 		for i, n := range chain {
 			if i > 0 && n.d.ID.Clock != chain[i-1].d.ID.Clock+1 {
 				t.Fatalf("chain %d not contiguous at %d", c, i)
 			}
-			if g.index[n.d.ID] != n {
-				t.Fatalf("index inconsistent for %v", n.d.ID)
+			if g.lookup(n.d.ID) != n {
+				t.Fatalf("lookup inconsistent for %v", n.d.ID)
 			}
 		}
 	}
-	// GC'd ids must be gone from the index.
-	if _, ok := g.index[event.EventID{Creator: 0, Clock: 5}]; ok {
-		t.Fatal("collected node still indexed")
+	// GC'd ids must no longer resolve.
+	if g.lookup(event.EventID{Creator: 0, Clock: 5}) != nil {
+		t.Fatal("collected node still resolvable")
 	}
 	// headOwn must survive only if still live.
 	if g.headOwn == nil || g.headOwn.d.ID.Clock != 20 {
 		t.Fatalf("headOwn = %+v", g.headOwn)
 	}
-	g.gc([]uint64{20, 20, 20, 20})
+	g.gc(stableVec(20, 20, 20, 20))
 	if g.headOwn != nil {
 		t.Fatal("headOwn should be nil after full GC of own chain")
 	}
@@ -118,7 +118,7 @@ func TestKnowledgeOfInfiniteForSelf(t *testing.T) {
 	g := newGraph(0, 3)
 	g.insert(event.Determinant{ID: event.EventID{Creator: 1, Clock: 4}, Sender: 0, SendSeq: 4, Lamport: 1})
 	known := g.knowledgeOf(1)
-	if known[1] != ^uint64(0) {
-		t.Fatalf("known[dst] = %d, want max", known[1])
+	if known.Get(1) != ^uint64(0) {
+		t.Fatalf("known[dst] = %d, want max", known.Get(1))
 	}
 }

@@ -3,6 +3,7 @@ package causal
 import (
 	"slices"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -106,7 +107,7 @@ func (l *LogOn) orderedFrontier(dst event.Rank) ([]*gnode, int64) {
 }
 
 // Stable implements Reducer.
-func (l *LogOn) Stable(vec []uint64) int64 { return l.g.gc(vec) }
+func (l *LogOn) Stable(vec *sparsevec.Vec) int64 { return l.g.gc(vec) }
 
 // Held implements Reducer.
 func (l *LogOn) Held() int { return l.g.held }

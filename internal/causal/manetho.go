@@ -1,6 +1,7 @@
 package causal
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -96,7 +97,7 @@ func (m *Manetho) costedFrontier(dst event.Rank) ([]*gnode, int64) {
 }
 
 // Stable implements Reducer.
-func (m *Manetho) Stable(vec []uint64) int64 { return m.g.gc(vec) }
+func (m *Manetho) Stable(vec *sparsevec.Vec) int64 { return m.g.gc(vec) }
 
 // Held implements Reducer.
 func (m *Manetho) Held() int { return m.g.held }

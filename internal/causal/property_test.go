@@ -138,7 +138,7 @@ func (d *driver) ackStable(r *rand.Rand) {
 		d.stable[c] = vec[c]
 	}
 	for i := 0; i < d.np; i++ {
-		d.rs[i].Stable(vec)
+		d.rs[i].Stable(stableVec(vec...))
 	}
 }
 

@@ -46,6 +46,7 @@
 package causal
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -82,9 +83,10 @@ type Reducer interface {
 	AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([]event.Determinant, int64)
 
 	// Stable applies an Event Logger acknowledgment: for every creator c,
-	// events with clock ≤ vec[c] are stably logged and are garbage
-	// collected from volatile state. Returns the op count.
-	Stable(vec []uint64) int64
+	// events with clock ≤ vec's floor for c are stably logged and are
+	// garbage collected from volatile state. A nil vector is a no-op.
+	// Returns the op count.
+	Stable(vec *sparsevec.Vec) int64
 
 	// Held reports how many determinants are currently in volatile memory
 	// (the paper's "size of the antecedence graph in the node memory").

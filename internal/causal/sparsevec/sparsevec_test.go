@@ -1,0 +1,213 @@
+package sparsevec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetMaxGet(t *testing.T) {
+	v := New(16)
+	if v.Get(3) != 0 {
+		t.Fatal("empty vector has a floor")
+	}
+	v.SetMax(3, 7)
+	v.SetMax(3, 5) // lower: ignored
+	v.SetMax(9, 1)
+	v.SetMax(0, 4)
+	if v.Get(3) != 7 || v.Get(9) != 1 || v.Get(0) != 4 || v.Get(8) != 0 {
+		t.Fatalf("floors wrong: %v", v.Dense())
+	}
+	v.SetMax(3, 9)
+	if v.Get(3) != 9 {
+		t.Fatal("SetMax did not raise the floor")
+	}
+	if v.Active() != 3 {
+		t.Fatalf("Active = %d, want 3", v.Active())
+	}
+}
+
+func TestZeroFloorIsNoOp(t *testing.T) {
+	v := New(8)
+	v.SetMax(2, 0)
+	if v.Active() != 0 {
+		t.Fatal("zero floor created a run")
+	}
+}
+
+func TestDensifyThreshold(t *testing.T) {
+	v := New(8)
+	for c := 0; c < 4; c++ {
+		v.SetMax(c, uint64(c+1))
+	}
+	if v.IsDense() {
+		t.Fatal("densified at half the world (threshold is strictly more)")
+	}
+	v.SetMax(4, 5)
+	if !v.IsDense() {
+		t.Fatal("did not densify past half the world")
+	}
+	// Semantics must not change across the conversion.
+	for c := 0; c < 5; c++ {
+		if v.Get(c) != uint64(c+1) {
+			t.Fatalf("floor %d lost in densify", c)
+		}
+	}
+}
+
+func TestZeroValueNeverDensifies(t *testing.T) {
+	var v Vec
+	for c := 0; c < 100; c++ {
+		v.SetMax(c, uint64(c+1))
+	}
+	if v.IsDense() {
+		t.Fatal("zero-np vector densified")
+	}
+	if v.Get(50) != 51 || v.Active() != 100 {
+		t.Fatal("zero-value vector lost entries")
+	}
+}
+
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	for _, m := range []Mode{ModeSparse, ModeDense} {
+		restore := SetModeForTest(m)
+		v := New(32)
+		for _, c := range []int{7, 2, 19, 4} {
+			v.SetMax(c, uint64(c)*10)
+		}
+		var got []int
+		v.Range(func(c int, f uint64) bool {
+			if f != uint64(c)*10 {
+				t.Fatalf("mode %v: floor of %d is %d", m, c, f)
+			}
+			got = append(got, c)
+			return true
+		})
+		want := []int{2, 4, 7, 19}
+		if len(got) != len(want) {
+			t.Fatalf("mode %v: visited %v", m, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mode %v: order %v, want %v", m, got, want)
+			}
+		}
+		n := 0
+		v.Range(func(int, uint64) bool { n++; return n < 2 })
+		if n != 2 {
+			t.Fatalf("mode %v: early stop visited %d", m, n)
+		}
+		restore()
+	}
+}
+
+// TestMaxFromMatchesBruteForce drives random merges through every
+// representation pairing and checks against dense ground truth.
+func TestMaxFromMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		const np = 24
+		truth := make([]uint64, np)
+		a, b := New(np), New(np)
+		for i := 0; i < 12; i++ {
+			c, f := r.Intn(np), uint64(r.Intn(40))
+			a.SetMax(c, f)
+			if f > truth[c] {
+				truth[c] = f
+			}
+		}
+		for i := 0; i < 12; i++ {
+			c, f := r.Intn(np), uint64(r.Intn(40))
+			b.SetMax(c, f)
+			if f > truth[c] {
+				truth[c] = f
+			}
+		}
+		a.MaxFrom(b)
+		for c := 0; c < np; c++ {
+			if a.Get(c) != truth[c] {
+				t.Fatalf("trial %d: merged[%d] = %d, want %d (aDense=%v bDense=%v)",
+					trial, c, a.Get(c), truth[c], a.IsDense(), b.IsDense())
+			}
+		}
+	}
+}
+
+func TestCopyFromPreservesRepresentation(t *testing.T) {
+	src := New(6)
+	src.SetMax(1, 3)
+	src.SetMax(5, 9)
+	dst := New(6)
+	dst.SetMax(0, 99)
+	dst.CopyFrom(src)
+	if dst.Get(0) != 0 || dst.Get(1) != 3 || dst.Get(5) != 9 {
+		t.Fatalf("copy wrong: %v", dst.Dense())
+	}
+	if dst.IsDense() != src.IsDense() {
+		t.Fatal("representation not copied")
+	}
+	// Densify the source and copy again.
+	for c := 0; c < 5; c++ {
+		src.SetMax(c, 1)
+	}
+	if !src.IsDense() {
+		t.Fatal("setup: source should be dense")
+	}
+	dst.CopyFrom(src)
+	if !dst.IsDense() || dst.Get(4) != 1 || dst.Get(5) != 9 {
+		t.Fatal("dense copy wrong")
+	}
+}
+
+func TestResetReusesBuffers(t *testing.T) {
+	v := New(8)
+	for c := 0; c < 8; c++ {
+		v.SetMax(c, 1)
+	}
+	if !v.IsDense() {
+		t.Fatal("setup: expected dense")
+	}
+	v.Reset(8)
+	if v.Active() != 0 || v.Get(3) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	// The dense buffer survives Reset (representation policy permitting),
+	// so a pooled vector re-densifies without allocating.
+	n := testing.AllocsPerRun(100, func() {
+		v.Reset(8)
+		for c := 0; c < 8; c++ {
+			v.SetMax(c, uint64(c+1))
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Reset+refill allocates %.1f per run", n)
+	}
+}
+
+func TestEncodedBytes(t *testing.T) {
+	v := New(1024)
+	if v.EncodedBytes() != RunHeaderBytes {
+		t.Fatalf("empty EncodedBytes = %d", v.EncodedBytes())
+	}
+	v.SetMax(3, 1)
+	v.SetMax(900, 5)
+	if got := v.EncodedBytes(); got != RunHeaderBytes+2*RunBytes {
+		t.Fatalf("EncodedBytes = %d, want %d", got, RunHeaderBytes+2*RunBytes)
+	}
+}
+
+func TestFillDenseAndClone(t *testing.T) {
+	v := New(10)
+	v.SetMax(2, 5)
+	v.SetMax(7, 1)
+	buf := make([]uint64, 10)
+	buf[0] = 99 // must be cleared
+	v.FillDense(buf)
+	if buf[0] != 0 || buf[2] != 5 || buf[7] != 1 {
+		t.Fatalf("FillDense = %v", buf)
+	}
+	c := v.Clone()
+	v.SetMax(2, 50)
+	if c.Get(2) != 5 {
+		t.Fatal("clone aliases the original")
+	}
+}

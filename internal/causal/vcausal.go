@@ -1,6 +1,7 @@
 package causal
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -10,47 +11,47 @@ import (
 // exchanges with that peer). No antecedence information is kept, so the
 // reduction is weaker than the graph-based protocols but every operation is
 // a sequence scan or append.
+//
+// All per-rank state is sparse (rankTable rows and interval-coded
+// sparsevec.Vec floors): memory and host-time cost track the set of active
+// creators and peers, while the *op counts* — the protocol's virtual cost
+// model — still charge one probe per world rank exactly as the dense
+// implementation did, so experiment tables are unchanged.
 type Vcausal struct {
 	conflictLatch
 
 	self event.Rank
 	np   int
 
-	// seqs[c] holds the unstable determinants created by rank c, in clock
-	// order (always a contiguous suffix of c's event history above the
-	// stability horizon).
-	seqs [][]event.Determinant
-	// knownBy[p][c] is the highest clock of c's events that peer p is known
-	// to hold, from what we sent p and what p sent us.
-	knownBy [][]uint64
+	// seqs holds, per active creator, the unstable determinants of that
+	// creator in clock order (always a contiguous suffix of the creator's
+	// event history above the stability horizon).
+	seqs rankTable[[]event.Determinant]
+	// knownBy holds, per active peer, the interval-coded floors of what that
+	// peer is known to hold, from what we sent it and what it sent us.
+	knownBy rankTable[*sparsevec.Vec]
 	// lastHeld[c] is the highest clock of c's events ever appended (dedup).
-	lastHeld []uint64
+	lastHeld *sparsevec.Vec
 	// stable[c] is the Event Logger's acknowledged clock for creator c.
-	stable []uint64
+	stable *sparsevec.Vec
 
 	held int
 
-	// cutScratch[c] is the emission plan of the current send: the index of
-	// the first determinant of seqs[c] to piggyback (len(seqs[c]) when
-	// none). Filled by planFor, consumed by emitTo.
+	// cutScratch is the emission plan of the current send, parallel to the
+	// seqs table: the index of the first determinant of each active chain to
+	// piggyback (len(chain) when none). Filled by planFor, consumed by
+	// emitTo.
 	cutScratch []int
 }
 
 // NewVcausal returns an empty Vcausal reducer for rank self of np processes.
 func NewVcausal(self event.Rank, np int) *Vcausal {
-	v := &Vcausal{
-		self:       self,
-		np:         np,
-		seqs:       make([][]event.Determinant, np),
-		knownBy:    make([][]uint64, np),
-		lastHeld:   make([]uint64, np),
-		stable:     make([]uint64, np),
-		cutScratch: make([]int, np),
+	return &Vcausal{
+		self:     self,
+		np:       np,
+		lastHeld: sparsevec.New(np),
+		stable:   sparsevec.New(np),
 	}
-	for i := range v.knownBy {
-		v.knownBy[i] = make([]uint64, np)
-	}
-	return v
 }
 
 // Name implements Reducer.
@@ -66,14 +67,14 @@ func (v *Vcausal) AddLocal(d event.Determinant) int64 {
 //mpichv:noalloc
 func (v *Vcausal) append(d event.Determinant) int64 {
 	c := d.ID.Creator
-	if d.ID.Clock <= v.lastHeld[c] || d.ID.Clock <= v.stable[c] {
+	if d.ID.Clock <= v.lastHeld.Get(int(c)) || d.ID.Clock <= v.stable.Get(int(c)) {
 		// Duplicate or already stable. A still-held copy is compared
 		// against the incoming content: a mismatch means the creator
 		// re-created this ID after a regressed recovery (see
 		// TakeIDConflict). Stable (collected) copies can no longer be
 		// compared. The sequence is clock-ordered but may carry gaps, so
 		// the copy is found by binary search.
-		if seq := v.seqs[c]; len(seq) > 0 && d.ID.Clock >= seq[0].ID.Clock {
+		if seq, _ := v.seqs.lookup(c); len(seq) > 0 && d.ID.Clock >= seq[0].ID.Clock {
 			lo, hi := 0, len(seq)
 			for lo < hi {
 				mid := (lo + hi) / 2
@@ -89,8 +90,9 @@ func (v *Vcausal) append(d event.Determinant) int64 {
 		}
 		return 1 // one comparison on the fast path
 	}
-	v.seqs[c] = append(v.seqs[c], d)
-	v.lastHeld[c] = d.ID.Clock
+	seq := v.seqs.row(c)
+	*seq = append(*seq, d)
+	v.lastHeld.SetMax(int(c), d.ID.Clock)
 	v.held++
 	return 1
 }
@@ -100,14 +102,27 @@ func (v *Vcausal) append(d event.Determinant) int64 {
 //
 //mpichv:noalloc
 func (v *Vcausal) Merge(src event.Rank, ds []event.Determinant) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
 	ops := int64(0)
+	known := v.knownVec(src)
 	for _, d := range ds {
 		ops += v.append(d)
-		if d.ID.Clock > v.knownBy[src][d.ID.Creator] {
-			v.knownBy[src][d.ID.Creator] = d.ID.Clock
-		}
+		known.SetMax(int(d.ID.Creator), d.ID.Clock)
 	}
 	return ops
+}
+
+// knownVec returns src's knowledge floors, creating them on first contact.
+//
+//mpichv:amortized one vector allocation per newly active peer, reused for the rest of the run
+func (v *Vcausal) knownVec(src event.Rank) *sparsevec.Vec {
+	known := v.knownBy.row(src)
+	if *known == nil {
+		*known = sparsevec.New(v.np)
+	}
+	return *known
 }
 
 // PiggybackFor implements Reducer: every held determinant newer than what
@@ -133,24 +148,40 @@ func (v *Vcausal) AppendPiggybackFor(dst event.Rank, buf []event.Determinant) ([
 	return v.emitTo(dst, buf), ops
 }
 
-// planFor computes the emission plan for one send to dst — cutScratch[c]
-// is the first index of seqs[c] to piggyback — and the total count and op
-// cost. It must not mutate reducer state: the commitment to knownBy
-// happens in emitTo, exactly once per send.
+// planFor computes the emission plan for one send to dst — cutScratch[i]
+// is the first index of the i-th active chain to piggyback — and the total
+// count and op cost. It must not mutate reducer knowledge: the commitment
+// to knownBy happens in emitTo, exactly once per send.
+//
+// The cost model charges one probe per world rank (a dense scan, as the
+// protocol is described in the paper); the sparse walk only visits active
+// chains, so the probe term is added arithmetically.
 //
 //mpichv:noalloc
 func (v *Vcausal) planFor(dst event.Rank) (total int, ops int64) {
-	ops = int64(v.held) / 8
-	for c := 0; c < v.np; c++ {
-		ops++ // creator probe
-		seq := v.seqs[c]
-		v.cutScratch[c] = len(seq)
-		if event.Rank(c) == dst || len(seq) == 0 {
+	ops = int64(v.held)/8 + int64(v.np)
+	if cap(v.cutScratch) < v.seqs.size() {
+		//lint:allow noalloc the plan scratch grows to the active-creator count once and is reused for every later send
+		v.cutScratch = make([]int, v.seqs.size())
+	}
+	v.cutScratch = v.cutScratch[:v.seqs.size()]
+	known, _ := v.knownBy.lookup(dst)
+	for i, key := range v.seqs.keys {
+		seq := v.seqs.rows[i]
+		v.cutScratch[i] = len(seq)
+		if event.Rank(key) == dst || len(seq) == 0 {
 			continue // dst knows its own events by definition
 		}
-		threshold := v.knownBy[dst][c]
-		if v.stable[c] > threshold {
-			threshold = v.stable[c]
+		threshold := v.stable.Get(int(key))
+		if known != nil {
+			if t := known.Get(int(key)); t > threshold {
+				threshold = t
+			}
+		}
+		// Steady state: everything already known — one tail comparison
+		// instead of a binary search.
+		if seq[len(seq)-1].ID.Clock <= threshold {
+			continue
 		}
 		// The sequence is clock-ordered: binary search for the first event
 		// above the threshold, then emit the suffix.
@@ -163,11 +194,9 @@ func (v *Vcausal) planFor(dst event.Rank) (total int, ops int64) {
 				lo = mid + 1
 			}
 		}
-		v.cutScratch[c] = lo
-		if lo < len(seq) {
-			total += len(seq) - lo
-			ops += int64(len(seq) - lo)
-		}
+		v.cutScratch[i] = lo
+		total += len(seq) - lo
+		ops += int64(len(seq) - lo)
 	}
 	return total, ops
 }
@@ -177,11 +206,15 @@ func (v *Vcausal) planFor(dst event.Rank) (total int, ops int64) {
 //
 //mpichv:noalloc
 func (v *Vcausal) emitTo(dst event.Rank, buf []event.Determinant) []event.Determinant {
-	for c := 0; c < v.np; c++ {
-		seq := v.seqs[c]
-		if lo := v.cutScratch[c]; lo < len(seq) {
+	var known *sparsevec.Vec
+	for i, key := range v.seqs.keys {
+		seq := v.seqs.rows[i]
+		if lo := v.cutScratch[i]; lo < len(seq) {
 			buf = append(buf, seq[lo:]...)
-			v.knownBy[dst][c] = seq[len(seq)-1].ID.Clock
+			if known == nil {
+				known = v.knownVec(dst)
+			}
+			known.SetMax(int(key), seq[len(seq)-1].ID.Clock)
 		}
 	}
 	return buf
@@ -190,26 +223,35 @@ func (v *Vcausal) emitTo(dst event.Rank, buf []event.Determinant) []event.Determ
 // Stable implements Reducer.
 //
 //mpichv:noalloc
-func (v *Vcausal) Stable(vec []uint64) int64 {
+func (v *Vcausal) Stable(vec *sparsevec.Vec) int64 {
+	if vec == nil {
+		return 0
+	}
 	ops := int64(0)
-	for c := 0; c < v.np && c < len(vec); c++ {
-		if vec[c] <= v.stable[c] {
-			continue
+	//lint:allow noalloc the callback only captures v and the local op counter, never escapes Range, and stays stack-allocated
+	vec.Range(func(c int, f uint64) bool {
+		if f <= v.stable.Get(c) {
+			return true
 		}
-		v.stable[c] = vec[c]
-		seq := v.seqs[c]
+		v.stable.SetMax(c, f)
+		i, ok := v.seqs.search(event.Rank(c))
+		if !ok {
+			return true
+		}
+		seq := v.seqs.rows[i]
 		cut := 0
-		for cut < len(seq) && seq[cut].ID.Clock <= vec[c] {
+		for cut < len(seq) && seq[cut].ID.Clock <= f {
 			cut++
 		}
 		if cut > 0 {
 			// Compact in place; the slice keeps its capacity for reuse.
 			kept := copy(seq, seq[cut:])
-			v.seqs[c] = seq[:kept]
+			v.seqs.rows[i] = seq[:kept]
 			v.held -= cut
 			ops += int64(cut)
 		}
-	}
+		return true
+	})
 	return ops
 }
 
@@ -218,14 +260,15 @@ func (v *Vcausal) Held() int { return v.held }
 
 // HeldFor implements Reducer.
 func (v *Vcausal) HeldFor(creator event.Rank) []event.Determinant {
-	return append([]event.Determinant(nil), v.seqs[creator]...)
+	seq, _ := v.seqs.lookup(creator)
+	return append([]event.Determinant(nil), seq...)
 }
 
 // All implements Reducer.
 func (v *Vcausal) All() []event.Determinant {
 	out := make([]event.Determinant, 0, v.held)
-	for c := range v.seqs {
-		out = append(out, v.seqs[c]...)
+	for i := range v.seqs.keys {
+		out = append(out, v.seqs.rows[i]...)
 	}
 	return out
 }

@@ -20,7 +20,6 @@ func setup(t *testing.T, np int) (*sim.Kernel, *netmodel.Network, *Server) {
 func image(rank event.Rank, epoch int, step int64) *vproto.CheckpointImage {
 	return &vproto.CheckpointImage{
 		Rank: rank, Epoch: epoch, Step: step, AppBytes: 1 << 10,
-		LastSeqSeen: make([]uint64, 2),
 	}
 }
 

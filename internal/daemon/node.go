@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/obs"
@@ -81,8 +82,8 @@ type Protocol interface {
 	// Restore rebuilds protocol state from a checkpoint image at restart.
 	Restore(n *Node, im *vproto.CheckpointImage)
 	// Integrate feeds determinants and a stability vector collected during
-	// recovery into the protocol state.
-	Integrate(n *Node, ds []event.Determinant, stable []uint64)
+	// recovery into the protocol state (stable may be nil).
+	Integrate(n *Node, ds []event.Determinant, stable *sparsevec.Vec)
 	// HeldFor returns held determinants created by the given rank, for
 	// serving a recovering peer (nil when the protocol keeps none).
 	HeldFor(creator event.Rank) []event.Determinant
@@ -158,7 +159,7 @@ type Node struct {
 	pendingImage   *vproto.CheckpointImage
 	imageArrived   bool
 	collectedDets  []event.Determinant
-	collectedStab  []uint64
+	collectedStab  *sparsevec.Vec
 	detRespsWanted int
 	// recovering buffers application packets in heldApp until the
 	// checkpoint image (and with it the duplicate-suppression floors) is
@@ -183,6 +184,18 @@ type Node struct {
 	// sequence trackers and the antecedence graph. Daemon-level state: it
 	// survives this node's own restarts.
 	peerEpoch []int
+	// guarded folds the two PktApp admission checks — a live incarnation
+	// fence on any peer, or this node recovering — into one predictable
+	// branch: in a fault-free run neither ever fires, so the application
+	// packet fast path tests a single always-false bool. fenced is the
+	// sticky half (a fence only ever tightens); recovering is the
+	// transient half.
+	guarded bool
+	fenced  bool
+	// pktObs caches the Proto's PacketObserver extension (set at Bind), so
+	// the per-packet acceptance path pays a nil check instead of a dynamic
+	// interface type assertion.
+	pktObs PacketObserver
 	// fencedRestart marks that this rank's previous incarnation was fenced
 	// while alive (false suspicion): some of its sends may have been held
 	// on a partitioned link and discarded by the peers' fence, and the
@@ -253,7 +266,11 @@ func NewNode(k *sim.Kernel, net *netmodel.Network, rank event.Rank, np int,
 
 // Bind attaches the node to its (re)spawned simulated process. It must be
 // called at the top of every incarnation's body.
-func (n *Node) Bind(p *sim.Proc) { n.proc = p; n.done = false }
+func (n *Node) Bind(p *sim.Proc) {
+	n.proc = p
+	n.done = false
+	n.pktObs, _ = n.Proto.(PacketObserver)
+}
 
 // Accessors.
 
@@ -312,6 +329,8 @@ func (n *Node) NextIncarnation() int { return n.recoveryEpoch + 1 }
 func (n *Node) FenceIncarnation(r event.Rank, inc int) {
 	if inc > n.peerEpoch[r] {
 		n.peerEpoch[r] = inc
+		n.fenced = true
+		n.guarded = true
 	}
 }
 
@@ -583,18 +602,24 @@ func (n *Node) process(d netmodel.Delivery) {
 	switch pkt.Kind {
 	case vproto.PktApp:
 		m := pkt.App
-		if m.Inc < n.peerEpoch[m.Src] {
-			// Fenced: the sender incarnation was superseded after a false
-			// suspicion. Its packets — typically released by a healing
-			// partition — must not touch the sequence trackers or reach the
-			// reducers: the replacement incarnation re-creates this history,
-			// possibly with different determinants under the same IDs.
-			n.stats.FencedStaleMsgs++
-			return
-		}
-		if n.recovering {
-			n.heldApp = append(n.heldApp, m)
-			return
+		if n.guarded {
+			// Slow path: a fence is live somewhere or this node is mid
+			// recovery. Fault-free runs never enter here — the admission
+			// checks cost them the single guarded branch above.
+			if m.Inc < n.peerEpoch[m.Src] {
+				// Fenced: the sender incarnation was superseded after a false
+				// suspicion. Its packets — typically released by a healing
+				// partition — must not touch the sequence trackers or reach
+				// the reducers: the replacement incarnation re-creates this
+				// history, possibly with different determinants under the
+				// same IDs.
+				n.stats.FencedStaleMsgs++
+				return
+			}
+			if n.recovering {
+				n.heldApp = append(n.heldApp, m)
+				return
+			}
 		}
 		cpu := n.Stack.RecvOverhead + n.Stack.PipeOverhead +
 			sim.Time(int64(m.Bytes)*int64(n.Stack.CopyPerByte+n.Stack.PipePerByte))
@@ -603,8 +628,8 @@ func (n *Node) process(d netmodel.Delivery) {
 			return // duplicate (replayed or rollback re-sent)
 		}
 		n.recvQ = append(n.recvQ, m)
-		if po, ok := n.Proto.(PacketObserver); ok {
-			po.OnPacketAccepted(n, m)
+		if n.pktObs != nil {
+			n.pktObs.OnPacketAccepted(n, m)
 		}
 
 	case vproto.PktCkptAck:
@@ -755,17 +780,23 @@ func (n *Node) CheckpointEpoch() int { return n.ckptEpoch }
 // the protocol's contribution.
 func (n *Node) BuildImage() *vproto.CheckpointImage {
 	im := &vproto.CheckpointImage{
-		Rank:        n.rank,
-		Epoch:       n.ckptEpoch,
-		Step:        n.step,
-		AppBytes:    n.AppStateBytes,
-		Clock:       n.clock,
-		SendSeqs:    append([]uint64(nil), n.sendSeq...),
-		Lamport:     n.lamport,
-		LastSeqSeen: make([]uint64, n.np),
+		Rank:     n.rank,
+		Epoch:    n.ckptEpoch,
+		Step:     n.step,
+		AppBytes: n.AppStateBytes,
+		Clock:    n.clock,
+		Lamport:  n.lamport,
 	}
+	// The per-peer floors travel interval-coded: only peers this rank ever
+	// exchanged with contribute runs, so a sparse communication pattern in a
+	// wide world stores O(active peers), not O(np).
+	im.SendSeqs.Reset(n.np)
+	for i, s := range n.sendSeq {
+		im.SendSeqs.SetMax(i, s)
+	}
+	im.LastSeqSeen.Reset(n.np)
 	for i := range n.seqTrack {
-		im.LastSeqSeen[i] = n.seqTrack[i].consumedFloor()
+		im.LastSeqSeen.SetMax(i, n.seqTrack[i].consumedFloor())
 	}
 	// Messages accepted by the daemon but not yet consumed by the
 	// application are daemon state: they are inside the duplicate
@@ -809,7 +840,7 @@ func (n *Node) TakeCheckpoint() {
 			gc := vproto.GetPacket()
 			gc.Kind = vproto.PktCkptGC
 			gc.Rank = n.rank
-			gc.SeqFloor = im.LastSeqSeen[r]
+			gc.SeqFloor = im.LastSeqSeen.Get(r)
 			n.SendPacket(r, 16, gc)
 		}
 	}
@@ -862,6 +893,7 @@ func (n *Node) PrepareRecovery() {
 	// and re-accepted once the image is restored.
 	n.Obs.Record(n.Now(), obs.KindRestoreBegin, int(n.rank), 0, "")
 	n.recovering = true
+	n.guarded = true
 	n.imageArrived = false
 	fetch := vproto.GetPacket()
 	fetch.Kind = vproto.PktCkptFetch
@@ -877,7 +909,9 @@ func (n *Node) PrepareRecovery() {
 	if im != nil {
 		n.restoreImage(im)
 	} else {
-		im = &vproto.CheckpointImage{Rank: n.rank, LastSeqSeen: make([]uint64, n.np)}
+		// A zero-valued image works as-is: its sparse floor vectors read as
+		// all-zero without any np-sized allocation.
+		im = &vproto.CheckpointImage{Rank: n.rank}
 		n.Proto.Restore(n, im)
 	}
 	n.flushHeldApp()
@@ -1078,6 +1112,7 @@ func (n *Node) flushHeldApp() {
 	held := n.heldApp
 	n.heldApp = nil
 	n.recovering = false
+	n.guarded = n.fenced
 	for _, m := range held {
 		if m.Inc < n.peerEpoch[m.Src] {
 			n.stats.FencedStaleMsgs++
@@ -1105,13 +1140,16 @@ func (n *Node) restoreImage(im *vproto.CheckpointImage) {
 	for i := range n.sendSeq {
 		n.sendSeq[i] = 0
 	}
-	copy(n.sendSeq, im.SendSeqs)
+	im.SendSeqs.Range(func(c int, f uint64) bool {
+		n.sendSeq[c] = f
+		return true
+	})
 	n.lamport = im.Lamport
 	if !n.lastEventFromImage(im) {
 		n.lastEvent = event.EventID{}
 	}
 	for i := range n.seqTrack {
-		n.seqTrack[i].reset(im.LastSeqSeen[i])
+		n.seqTrack[i].reset(im.LastSeqSeen.Get(i))
 	}
 	n.Log.Restore(im.LoggedPayloads)
 	n.Proto.Restore(n, im)
@@ -1172,6 +1210,7 @@ func (n *Node) PrepareRollback(crashed bool) {
 
 	n.Obs.Record(n.Now(), obs.KindRestoreBegin, int(n.rank), 0, "")
 	n.recovering = true
+	n.guarded = true
 	n.imageArrived = false
 	fetch := vproto.GetPacket()
 	fetch.Kind = vproto.PktCkptFetch
@@ -1187,7 +1226,7 @@ func (n *Node) PrepareRollback(crashed bool) {
 	if im != nil {
 		n.restoreImage(im)
 	} else {
-		n.Proto.Restore(n, &vproto.CheckpointImage{Rank: n.rank, LastSeqSeen: make([]uint64, n.np)})
+		n.Proto.Restore(n, &vproto.CheckpointImage{Rank: n.rank})
 	}
 	n.flushHeldApp()
 	n.Obs.Record(n.Now(), obs.KindRestoreEnd, int(n.rank), 0, "")

@@ -3,6 +3,7 @@ package daemon
 import (
 	"testing"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
@@ -19,13 +20,13 @@ func (p *nullProto) OnDeliver(n *Node, m *vproto.Message) {
 	d, _ := n.CreateDeterminant(m)
 	p.dets = append(p.dets, d)
 }
-func (*nullProto) OnControl(*Node, *vproto.Packet)                {}
-func (*nullProto) TakeSnapshot(n *Node)                           { n.TakeCheckpoint() }
-func (*nullProto) Snapshot(*Node, *vproto.CheckpointImage)        {}
-func (*nullProto) Restore(*Node, *vproto.CheckpointImage)         {}
-func (*nullProto) Integrate(*Node, []event.Determinant, []uint64) {}
-func (*nullProto) HeldFor(event.Rank) []event.Determinant         { return nil }
-func (*nullProto) UsesSenderLog() bool                            { return false }
+func (*nullProto) OnControl(*Node, *vproto.Packet)                      {}
+func (*nullProto) TakeSnapshot(n *Node)                                 { n.TakeCheckpoint() }
+func (*nullProto) Snapshot(*Node, *vproto.CheckpointImage)              {}
+func (*nullProto) Restore(*Node, *vproto.CheckpointImage)               {}
+func (*nullProto) Integrate(*Node, []event.Determinant, *sparsevec.Vec) {}
+func (*nullProto) HeldFor(event.Rank) []event.Determinant               { return nil }
+func (*nullProto) UsesSenderLog() bool                                  { return false }
 
 func twoNodes(t *testing.T) (*sim.Kernel, *Node, *Node) {
 	t.Helper()
@@ -196,8 +197,8 @@ func TestBuildImageCapturesRecvQueue(t *testing.T) {
 	if len(im.ChannelMsgs) != 1 || im.ChannelMsgs[0].SendSeq != 2 {
 		t.Fatalf("ChannelMsgs = %+v, want the unconsumed message", im.ChannelMsgs)
 	}
-	if im.Clock != 1 || im.LastSeqSeen[0] != 2 {
-		t.Fatalf("image counters: clock=%d floor=%d", im.Clock, im.LastSeqSeen[0])
+	if im.Clock != 1 || im.LastSeqSeen.Get(0) != 2 {
+		t.Fatalf("image counters: clock=%d floor=%d", im.Clock, im.LastSeqSeen.Get(0))
 	}
 }
 

@@ -1,6 +1,7 @@
 package eventlogger
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/sim"
@@ -135,7 +136,7 @@ func (g *Group) syncLoop(p *sim.Proc, s *Server) {
 				pkt := vproto.GetPacket()
 				pkt.Kind = vproto.PktELSync
 				pkt.From = s.ep.ID()
-				copy(pkt.AckVec(g.np), s.stable)
+				pkt.AckVec(g.np).CopyFrom(s.stable)
 				s.ep.Send(peer.ep.ID(), bytes, pkt)
 			}
 		}
@@ -146,20 +147,16 @@ func (g *Group) syncLoop(p *sim.Proc, s *Server) {
 				pkt := vproto.GetPacket()
 				pkt.Kind = vproto.PktEventAck
 				pkt.From = s.ep.ID()
-				copy(pkt.AckVec(g.np), s.stable)
+				pkt.AckVec(g.np).CopyFrom(s.stable)
 				s.ep.Send(r, bytes, pkt)
 			}
 		}
 	}
 }
 
-// mergeStable folds a peer's stable array into s's view. Only entries for
+// mergeStable folds a peer's stable vector into s's view. Only entries for
 // creators the peer is authoritative for can exceed s's own, so a
 // componentwise max is safe.
-func (s *Server) mergeStable(vec []uint64) {
-	for c := 0; c < s.np && c < len(vec); c++ {
-		if vec[c] > s.stable[c] {
-			s.stable[c] = vec[c]
-		}
-	}
+func (s *Server) mergeStable(vec *sparsevec.Vec) {
+	s.stable.MaxFrom(vec)
 }

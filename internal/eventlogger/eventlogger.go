@@ -14,6 +14,7 @@ package eventlogger
 import (
 	"fmt"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
 	"mpichv/internal/obs"
@@ -59,8 +60,11 @@ type Server struct {
 
 	// store[c] holds every determinant created by rank c, in clock order.
 	store [][]event.Determinant
-	// stable[c] is the highest stored clock of rank c.
-	stable []uint64
+	// stable holds the highest stored clock per creator, interval-coded so
+	// acknowledgments copy O(active creators) runs instead of an NP-wide
+	// array. The wire size still charges the dense 4·np encoding (the
+	// paper's ack format); sparsity is an in-memory representation only.
+	stable *sparsevec.Vec
 
 	// EventsStored counts determinants persisted over the run.
 	EventsStored int64
@@ -95,7 +99,7 @@ func New(k *sim.Kernel, net *netmodel.Network, endpoint, np int, cfg Config) *Se
 		cfg:    cfg,
 		np:     np,
 		store:  make([][]event.Determinant, np),
-		stable: make([]uint64, np),
+		stable: sparsevec.New(np),
 	}
 	k.Spawn("event-logger", s.run)
 	return s
@@ -137,7 +141,7 @@ func (s *Server) run(p *sim.Proc) {
 			ack := vproto.GetPacket()
 			ack.Kind = vproto.PktEventAck
 			ack.From = s.ep.ID()
-			copy(ack.AckVec(s.np), s.stable)
+			ack.AckVec(s.np).CopyFrom(s.stable)
 			s.ep.Send(pkt.From, s.cfg.AckOverheadBytes+4*s.np, ack)
 
 		case vproto.PktELSync:
@@ -156,7 +160,7 @@ func (s *Server) run(p *sim.Proc) {
 			resp.Kind = vproto.PktEventQueryResp
 			resp.From = s.ep.ID()
 			resp.Determinants = dets
-			resp.StableVec = s.stableCopy()
+			resp.StableVec = s.stable.Clone()
 			resp.Incarnation = pkt.Incarnation // requester discards responses to a dead incarnation
 			s.ep.Send(pkt.From, event.FactoredSize(dets)+s.cfg.AckOverheadBytes+4*s.np, resp)
 
@@ -173,25 +177,22 @@ func (s *Server) storeEvents(ds []event.Determinant) {
 		if int(c) < 0 || int(c) >= s.np {
 			panic(fmt.Sprintf("eventlogger: determinant for unknown rank %d", c))
 		}
-		if d.ID.Clock <= s.stable[c] {
+		have := s.stable.Get(int(c))
+		if d.ID.Clock <= have {
 			continue // duplicate (replay re-ship)
 		}
-		if d.ID.Clock != s.stable[c]+1 {
+		if d.ID.Clock != have+1 {
 			panic(fmt.Sprintf("eventlogger: gap in event stream of rank %d: have %d, got %d",
-				c, s.stable[c], d.ID.Clock))
+				c, have, d.ID.Clock))
 		}
 		s.store[c] = append(s.store[c], d)
-		s.stable[c] = d.ID.Clock
+		s.stable.SetMax(int(c), d.ID.Clock)
 		s.EventsStored++
 	}
 }
 
-func (s *Server) stableCopy() []uint64 {
-	return append([]uint64(nil), s.stable...)
-}
-
-// Stable returns the current stable vector (tests and probes).
-func (s *Server) Stable() []uint64 { return s.stableCopy() }
+// Stable returns the current stable vector densely (tests and probes).
+func (s *Server) Stable() []uint64 { return s.stable.Dense() }
 
 // QueueLen returns the current request-queue length (the gauge the
 // observability sampler reads; MaxQueueLen is its high-water mark).

@@ -43,7 +43,7 @@ func TestStoreAndAck(t *testing.T) {
 	if last.Kind != vproto.PktEventAck {
 		t.Fatalf("ack kind = %v", last.Kind)
 	}
-	if last.StableVec[0] != 2 || last.StableVec[1] != 0 {
+	if last.StableVec.Get(0) != 2 || last.StableVec.Get(1) != 0 {
 		t.Fatalf("stable vector = %v", last.StableVec)
 	}
 	if s.EventsStored != 2 {
@@ -104,7 +104,7 @@ func TestQueryReturnsHistoryAndStableVector(t *testing.T) {
 	if len(resp.Determinants) != 3 {
 		t.Fatalf("query returned %d determinants, want 3", len(resp.Determinants))
 	}
-	if resp.StableVec[2] != 3 {
+	if resp.StableVec.Get(2) != 3 {
 		t.Fatalf("stable vector = %v", resp.StableVec)
 	}
 	if s.QueriesServed != 1 {

@@ -34,6 +34,7 @@ func Index() map[string]func() *Report {
 		"ext-partition-smoke":      ExtPartitionSmokeReport,
 		"ext-service":              ExtServiceReport,
 		"ext-service-smoke":        ExtServiceSmokeReport,
+		"ext-np64-smoke":           ExtNP64SmokeReport,
 	}
 }
 

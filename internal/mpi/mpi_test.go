@@ -3,6 +3,7 @@ package mpi
 import (
 	"testing"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
@@ -18,13 +19,13 @@ func (*passProto) PreSend(*daemon.Node, *vproto.Message) {}
 func (*passProto) OnDeliver(n *daemon.Node, m *vproto.Message) {
 	n.CreateDeterminant(m)
 }
-func (*passProto) OnControl(*daemon.Node, *vproto.Packet)                {}
-func (*passProto) TakeSnapshot(*daemon.Node)                             {}
-func (*passProto) Snapshot(*daemon.Node, *vproto.CheckpointImage)        {}
-func (*passProto) Restore(*daemon.Node, *vproto.CheckpointImage)         {}
-func (*passProto) Integrate(*daemon.Node, []event.Determinant, []uint64) {}
-func (*passProto) HeldFor(event.Rank) []event.Determinant                { return nil }
-func (*passProto) UsesSenderLog() bool                                   { return false }
+func (*passProto) OnControl(*daemon.Node, *vproto.Packet)                      {}
+func (*passProto) TakeSnapshot(*daemon.Node)                                   {}
+func (*passProto) Snapshot(*daemon.Node, *vproto.CheckpointImage)              {}
+func (*passProto) Restore(*daemon.Node, *vproto.CheckpointImage)               {}
+func (*passProto) Integrate(*daemon.Node, []event.Determinant, *sparsevec.Vec) {}
+func (*passProto) HeldFor(event.Rank) []event.Determinant                      { return nil }
+func (*passProto) UsesSenderLog() bool                                         { return false }
 
 // world spawns np communicators running body and returns after completion.
 func world(t *testing.T, np int, body func(c *Comm)) []*daemon.Node {

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/vproto"
@@ -156,7 +157,7 @@ func (c *Coordinated) Restore(n *daemon.Node, im *vproto.CheckpointImage) {
 }
 
 // Integrate implements daemon.Protocol (nothing to integrate).
-func (*Coordinated) Integrate(*daemon.Node, []event.Determinant, []uint64) {}
+func (*Coordinated) Integrate(*daemon.Node, []event.Determinant, *sparsevec.Vec) {}
 
 // HeldFor implements daemon.Protocol.
 func (*Coordinated) HeldFor(event.Rank) []event.Determinant { return nil }

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/sim"
@@ -62,7 +63,7 @@ func (p *Pessimistic) OnDeliver(n *daemon.Node, m *vproto.Message) {
 func (p *Pessimistic) OnControl(n *daemon.Node, pkt *vproto.Packet) {
 	switch pkt.Kind {
 	case vproto.PktEventAck:
-		if v := pkt.StableVec[n.Rank()]; v > p.ackedOwn {
+		if v := pkt.StableVec.Get(int(n.Rank())); v > p.ackedOwn {
 			p.ackedOwn = v
 		}
 	case vproto.PktCkptRequest:
@@ -86,7 +87,7 @@ func (p *Pessimistic) Restore(n *daemon.Node, im *vproto.CheckpointImage) {
 
 // Integrate implements daemon.Protocol: collected determinants come from
 // the Event Logger, so they are all stable.
-func (p *Pessimistic) Integrate(n *daemon.Node, ds []event.Determinant, stable []uint64) {
+func (p *Pessimistic) Integrate(n *daemon.Node, ds []event.Determinant, stable *sparsevec.Vec) {
 	for _, d := range ds {
 		if d.ID.Creator == n.Rank() && d.ID.Clock > p.ackedOwn {
 			p.ackedOwn = d.ID.Clock

@@ -3,6 +3,7 @@ package protocols
 import (
 	"testing"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/netmodel"
@@ -85,7 +86,10 @@ func TestVcausalShipsToELAndGCs(t *testing.T) {
 				stable[det.ID.Creator] = det.ID.Clock
 			}
 		}
-		ack := append([]uint64(nil), stable...)
+		ack := sparsevec.New(2)
+		for c, f := range stable {
+			ack.SetMax(c, f)
+		}
 		net.Endpoint(2).Send(pkt.From, 24, &vproto.Packet{Kind: vproto.PktEventAck, From: 2, StableVec: ack})
 	})
 
@@ -132,7 +136,7 @@ func TestVcausalSnapshotRestore(t *testing.T) {
 			{ID: event.EventID{Creator: 1, Clock: 1}, Sender: 0, SendSeq: 1, Lamport: 1},
 			{ID: event.EventID{Creator: 1, Clock: 2}, Sender: 0, SendSeq: 2, Lamport: 2},
 		})
-		im := &vproto.CheckpointImage{Rank: 0, LastSeqSeen: make([]uint64, 2)}
+		im := &vproto.CheckpointImage{Rank: 0}
 		proto.Snapshot(n, im)
 		if len(im.Determinants) != 2 {
 			t.Errorf("snapshot carries %d determinants", len(im.Determinants))
@@ -179,9 +183,9 @@ func TestPessimisticBlocksUntilAck(t *testing.T) {
 		if pkt.Kind != vproto.PktEventLog {
 			return
 		}
-		vec := make([]uint64, 2)
+		vec := sparsevec.New(2)
 		for _, det := range pkt.Determinants {
-			vec[det.ID.Creator] = det.ID.Clock
+			vec.SetMax(int(det.ID.Creator), det.ID.Clock)
 		}
 		k.After(ackDelay, func() {
 			net.Endpoint(2).Send(pkt.From, 24, &vproto.Packet{Kind: vproto.PktEventAck, From: 2, StableVec: vec})

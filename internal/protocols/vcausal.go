@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpichv/internal/causal"
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/sim"
@@ -179,7 +180,7 @@ func (v *Vcausal) Restore(n *daemon.Node, im *vproto.CheckpointImage) {
 }
 
 // Integrate implements daemon.Protocol.
-func (v *Vcausal) Integrate(n *daemon.Node, ds []event.Determinant, stable []uint64) {
+func (v *Vcausal) Integrate(n *daemon.Node, ds []event.Determinant, stable *sparsevec.Vec) {
 	v.reducer.Merge(n.Rank(), ds)
 	v.checkIDConflict(n)
 	if stable != nil {

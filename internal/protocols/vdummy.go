@@ -6,6 +6,7 @@
 package protocols
 
 import (
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/daemon"
 	"mpichv/internal/event"
 	"mpichv/internal/vproto"
@@ -46,7 +47,7 @@ func (*Vdummy) Snapshot(*daemon.Node, *vproto.CheckpointImage) {}
 func (*Vdummy) Restore(*daemon.Node, *vproto.CheckpointImage) {}
 
 // Integrate implements daemon.Protocol.
-func (*Vdummy) Integrate(*daemon.Node, []event.Determinant, []uint64) {}
+func (*Vdummy) Integrate(*daemon.Node, []event.Determinant, *sparsevec.Vec) {}
 
 // HeldFor implements daemon.Protocol.
 func (*Vdummy) HeldFor(event.Rank) []event.Determinant { return nil }

@@ -11,6 +11,7 @@ package vproto
 import (
 	"sync"
 
+	"mpichv/internal/causal/sparsevec"
 	"mpichv/internal/event"
 )
 
@@ -113,8 +114,12 @@ type Packet struct {
 	// Determinants is set for event-log, query-response and det-response
 	// packets.
 	Determinants []event.Determinant
-	// StableVec is set for PktEventAck.
-	StableVec []uint64
+	// StableVec is set for PktEventAck, PktELSync and PktEventQueryResp: the
+	// interval-coded stable vector (highest safely stored clock per active
+	// creator). Ack-class packets point it at the pooled inline buffer (see
+	// AckVec); query responses carry freshly allocated vectors because the
+	// recovering node retains them.
+	StableVec *sparsevec.Vec
 	// Creator scopes PktEventQuery / PktDetRequest.
 	Creator event.Rank
 	// SeqFloor is the lowest send sequence (exclusive) the requester
@@ -141,9 +146,11 @@ type Packet struct {
 	// shipment — the highest-rate control packet in the system — so that
 	// pooled packets carry it without a per-send slice allocation.
 	det [1]event.Determinant
-	// vecbuf is a reusable stable-vector buffer (see AckVec). It survives
-	// pooling cycles, so acknowledgment-heavy runs reuse it indefinitely.
-	vecbuf []uint64
+	// stableBuf is the reusable stable-vector storage behind AckVec. Its
+	// run list survives pooling cycles sized by the *active* creator count,
+	// so an acknowledgment in an NP=1024 world costs O(active creators) —
+	// the pooled shell no longer drags a world-sized scratch array around.
+	stableBuf sparsevec.Vec
 }
 
 // SetDeterminant attaches a single determinant using the packet's inline
@@ -157,19 +164,17 @@ func (p *Packet) SetDeterminant(d event.Determinant) {
 	p.Determinants = p.det[:1]
 }
 
-// AckVec points StableVec at a packet-owned buffer of length n and returns
-// it for the caller to fill. It must only be used for packet kinds whose
-// consumers do not retain StableVec past packet processing (PktEventAck and
-// PktELSync); recovery responses (PktEventQueryResp) are retained by the
-// recovering node and must carry freshly allocated vectors.
+// AckVec points StableVec at the packet-owned interval-coded buffer, reset
+// for a world of n creators, and returns it for the caller to fill. It must
+// only be used for packet kinds whose consumers do not retain StableVec
+// past packet processing (PktEventAck and PktELSync); recovery responses
+// (PktEventQueryResp) are retained by the recovering node and must carry
+// freshly allocated vectors.
 //
 //mpichv:noalloc
-func (p *Packet) AckVec(n int) []uint64 {
-	if cap(p.vecbuf) < n {
-		//lint:allow noalloc vecbuf grows to the cluster width once per packet shell and is reused for every later ack
-		p.vecbuf = make([]uint64, n)
-	}
-	p.StableVec = p.vecbuf[:n]
+func (p *Packet) AckVec(n int) *sparsevec.Vec {
+	p.stableBuf.Reset(n)
+	p.StableVec = &p.stableBuf
 	return p.StableVec
 }
 
@@ -195,9 +200,9 @@ func PutPacket(p *Packet) {
 	if p == nil {
 		return
 	}
-	vec := p.vecbuf
+	vec := p.stableBuf
 	*p = Packet{}
-	p.vecbuf = vec
+	p.stableBuf = vec
 	packetPool.Put(p)
 }
 
@@ -214,13 +219,15 @@ type CheckpointImage struct {
 	// AppBytes is the modeled size of the application state.
 	AppBytes int64
 	// Clock and Lamport restore the process's logging counters; SendSeqs
-	// restores the per-destination channel sequence counters.
+	// restores the per-destination channel sequence counters
+	// (interval-coded: one run per destination ever sent to).
 	Clock    uint64
-	SendSeqs []uint64
+	SendSeqs sparsevec.Vec
 	Lamport  uint64
-	// LastSeqSeen[r] is the highest send sequence consumed from each rank
-	// (duplicate suppression floor after restart).
-	LastSeqSeen []uint64
+	// LastSeqSeen holds the highest send sequence consumed from each rank
+	// (duplicate suppression floor after restart), interval-coded: one run
+	// per sender ever consumed from.
+	LastSeqSeen sparsevec.Vec
 	// Determinants are the held causality events at snapshot time.
 	Determinants []event.Determinant
 	// SenderLogBytes is the payload-log volume included in the image.
@@ -235,10 +242,24 @@ type CheckpointImage struct {
 	ChannelMsgs []Message
 }
 
-// Bytes returns the modeled on-wire size of the image.
+// ChannelMsgHeaderBytes is the modeled per-message framing of one recorded
+// in-transit message inside a coordinated checkpoint image (source, tag,
+// sequence, length).
+const ChannelMsgHeaderBytes = 32
+
+// Bytes returns the modeled on-wire size of the image: application state,
+// sender log, held determinants (factored encoding), the interval-coded
+// channel-sequence floors (SendSeqs and LastSeqSeen, charged at their run
+// encoding so the cost tracks active channels, not world size), recorded
+// in-transit channel messages, and a fixed header.
 func (im *CheckpointImage) Bytes() int64 {
-	return im.AppBytes + im.SenderLogBytes +
+	b := im.AppBytes + im.SenderLogBytes +
 		int64(event.FactoredSize(im.Determinants)) + 64
+	b += im.SendSeqs.EncodedBytes() + im.LastSeqSeen.EncodedBytes()
+	for i := range im.ChannelMsgs {
+		b += ChannelMsgHeaderBytes + int64(im.ChannelMsgs[i].Bytes)
+	}
+	return b
 }
 
 // LoggedPayload is one sender-based-logging entry: enough to re-emit the

@@ -36,7 +36,9 @@ func TestCheckpointImageBytes(t *testing.T) {
 			{ID: event.EventID{Creator: 0, Clock: 2}},
 		},
 	}
+	// Empty channel-sequence vectors still cost their run-count headers.
 	want := int64(1000 + 500 + event.FactoredSize(im.Determinants) + 64)
+	want += im.SendSeqs.EncodedBytes() + im.LastSeqSeen.EncodedBytes()
 	if got := im.Bytes(); got != want {
 		t.Errorf("Bytes = %d, want %d", got, want)
 	}
@@ -44,5 +46,21 @@ func TestCheckpointImageBytes(t *testing.T) {
 	im.AppBytes += 100
 	if im.Bytes() != want+100 {
 		t.Error("AppBytes not reflected in size")
+	}
+	want += 100
+
+	// Channel-sequence floors are charged at the interval-coded run size:
+	// one run per active channel, regardless of world size.
+	im.SendSeqs.Reset(1024)
+	im.SendSeqs.SetMax(3, 7)
+	im.SendSeqs.SetMax(900, 2)
+	if got := im.Bytes(); got != want+2*12 {
+		t.Errorf("Bytes with 2 send-seq runs = %d, want %d", got, want+2*12)
+	}
+
+	// Recorded in-transit messages charge header plus payload.
+	im.ChannelMsgs = []Message{{Bytes: 256}}
+	if got := im.Bytes(); got != want+2*12+ChannelMsgHeaderBytes+256 {
+		t.Errorf("Bytes with channel msg = %d", got)
 	}
 }
